@@ -1,0 +1,320 @@
+// Benchmarks regenerating every quantitative result in the paper's
+// evaluation (one benchmark per experiment; see DESIGN.md's experiment
+// index), the design-choice ablations, and micro-benchmarks of the
+// SIMBA library's hot paths. Macro benchmarks report the measured
+// virtual-time latencies via ReportMetric so `go test -bench .` shows
+// the paper-vs-measured figures alongside wall-clock cost.
+package simba_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"simba/internal/addr"
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/core"
+	"simba/internal/dist"
+	"simba/internal/dmode"
+	"simba/internal/harness"
+	"simba/internal/mab"
+	"simba/internal/plog"
+	"simba/internal/sss"
+)
+
+func rowDuration(res *harness.Result, metric string) (time.Duration, bool) {
+	for _, row := range res.Rows {
+		if row.Metric == metric {
+			d, err := time.ParseDuration(row.Measured)
+			if err != nil {
+				return 0, false
+			}
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// BenchmarkE1IMDelivery — Section 5: one-way IM < 1 s, ack ≈ 1.5 s.
+func BenchmarkE1IMDelivery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.E1IMDelivery(b.TempDir(), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := rowDuration(res, "one-way IM delivery (mean)"); ok {
+			b.ReportMetric(float64(d.Milliseconds()), "oneway-ms")
+		}
+		if d, ok := rowDuration(res, "ack with pessimistic logging (mean)"); ok {
+			b.ReportMetric(float64(d.Milliseconds()), "ack-ms")
+		}
+	}
+}
+
+// BenchmarkE2ProxyRouting — Section 5: detection → user ≈ 2.5 s.
+func BenchmarkE2ProxyRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.E2ProxyRouting(b.TempDir(), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := rowDuration(res, "detection → user delivery (mean)"); ok {
+			b.ReportMetric(float64(d.Milliseconds()), "detect-to-user-ms")
+		}
+	}
+}
+
+// BenchmarkE3AladdinEndToEnd — Section 5: remote press → IM ≈ 11 s.
+func BenchmarkE3AladdinEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.E3Aladdin(b.TempDir(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := rowDuration(res, "remote press → user IM (mean)"); ok {
+			b.ReportMetric(float64(d.Milliseconds()), "end-to-end-ms")
+		}
+	}
+}
+
+// BenchmarkE4WISHLocation — Section 5: laptop send → subscriber ≈ 5 s.
+func BenchmarkE4WISHLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.E4WISH(b.TempDir(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := rowDuration(res, "laptop send → subscriber IM (mean)"); ok {
+			b.ReportMetric(float64(d.Milliseconds()), "send-to-user-ms")
+		}
+	}
+}
+
+// BenchmarkE5FaultMonth — Section 5's one-month availability study,
+// compressed to 3 simulated days per iteration (run cmd/simba-bench
+// for the full 30-day table).
+func BenchmarkE5FaultMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.E5FaultMonth(b.TempDir(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkE6BaselineRedundancy — naive 2-email+2-SMS vs SIMBA.
+func BenchmarkE6BaselineRedundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E6Baseline(b.TempDir(), 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7PortalScale — Section 1's portal workload (≈9 alerts/s).
+func BenchmarkE7PortalScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E7PortalScale(1000, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoPlog — value of pessimistic logging.
+func BenchmarkAblationNoPlog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationNoPlog(b.TempDir(), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoMonkey — value of the dialog-handling monkey.
+func BenchmarkAblationNoMonkey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationNoMonkey(b.TempDir(), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA4AckTimeoutSweep — delivery-mode timeout tradeoff.
+func BenchmarkA4AckTimeoutSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		timeouts := []time.Duration{2 * time.Second, 15 * time.Second}
+		if _, err := harness.A4AckTimeoutSweep(b.TempDir(), 8, timeouts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationProbePeriod — MDC probe-period sweep.
+func BenchmarkAblationProbePeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		periods := []time.Duration{time.Minute, 3 * time.Minute}
+		if _, err := harness.AblationProbePeriod(b.TempDir(), periods); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the library's hot paths -----------------------
+
+// BenchmarkF4DeliveryModeCodec — Figure 4's XML document round trip.
+func BenchmarkF4DeliveryModeCodec(b *testing.B) {
+	m := dmode.Figure4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := m.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dmode.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlertWireCodec — the alert payload round trip.
+func BenchmarkAlertWireCodec(b *testing.B) {
+	a := &alert.Alert{
+		ID: "bench-1", Source: "bench", Keywords: []string{"Stocks", "Earnings"},
+		Subject: "MSFT earnings", Body: "Quarterly results are out.",
+		Urgency: alert.UrgencyHigh, Created: time.Unix(985597200, 0),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := a.MarshalText()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out alert.Alert
+		if err := out.UnmarshalText(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDeliverEmail — one fire-and-forget delivery through
+// the engine with an instant transport.
+func BenchmarkEngineDeliverEmail(b *testing.B) {
+	clk := clock.NewReal()
+	engine, err := core.NewEngine(clk, nil, instantSender{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := addr.NewRegistry("u")
+	if err := reg.Register(addr.Address{Type: addr.TypeEmail, Name: "inbox", Target: "u@x", Enabled: true}); err != nil {
+		b.Fatal(err)
+	}
+	mode := &dmode.Mode{Name: "m", Blocks: []dmode.Block{{Actions: []dmode.Action{{Address: "inbox"}}}}}
+	a := &alert.Alert{ID: "x", Source: "s", Urgency: alert.UrgencyNormal, Created: clk.Now()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Deliver(a, reg, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type instantSender struct{}
+
+func (instantSender) Send(to, subject, body string) error { return nil }
+
+// BenchmarkClassifyAggregateFilter — the MyAlertBuddy pipeline stages.
+func BenchmarkClassifyAggregateFilter(b *testing.B) {
+	cls := mab.NewClassifier()
+	cls.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+	agg := mab.NewAggregator()
+	agg.Map("Stocks", "Investment")
+	fil := mab.NewFilter()
+	a := &alert.Alert{
+		ID: "x", Source: "portal", Keywords: []string{"Stocks"},
+		Urgency: alert.UrgencyNormal, Created: time.Unix(985597200, 0),
+	}
+	now := a.Created
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kws, ok := cls.Classify(a, "")
+		if !ok {
+			b.Fatal("rejected")
+		}
+		cat := agg.Aggregate(kws)
+		if !fil.Allow(cat, now) {
+			b.Fatal("filtered")
+		}
+	}
+}
+
+// BenchmarkPlogLogReceived — pessimistic-log append+fsync cost.
+func BenchmarkPlogLogReceived(b *testing.B) {
+	l, err := plog.Open(b.TempDir() + "/bench.plog")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := []byte("SIMBA-ALERT/1\nID: x\n...")
+	at := time.Unix(985597200, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.LogReceived(fmt.Sprintf("k-%d", i), payload, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSSWrite — soft-state store update + event dispatch.
+func BenchmarkSSSWrite(b *testing.B) {
+	sim := clock.NewSim(time.Time{})
+	s, err := sss.NewStore(sim, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Define(sss.Spec{Name: "v", RefreshEvery: time.Hour, MaxMissed: 3}); err != nil {
+		b.Fatal(err)
+	}
+	events := 0
+	s.Subscribe("", func(sss.Event) { events++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write("v", fmt.Sprintf("state-%d", i&1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWISHLocate — fingerprint localization over the grid.
+func BenchmarkWISHLocate(b *testing.B) {
+	tb, err := harness.NewTestbed(harness.Options{TempDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := dist.NewRNG(1)
+	strengths := []float64{-60, -70, -65, -72}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Wish.Locate(strengths); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = rng
+}
+
+// BenchmarkSoakRandomFaults — randomized fault soak (2 simulated days
+// of Poisson fault arrivals under the MDC).
+func BenchmarkSoakRandomFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.SoakRandomFaults(b.TempDir(), int64(i)+1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Recovered {
+			b.Fatalf("soak did not recover: %s", res)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command simba-bench regenerates every quantitative result in the
+// SIMBA paper's evaluation (Section 5), the baseline comparison
+// motivated by Section 2.3, the portal-scale workload from Section 1,
+// and the design ablations — printing one paper-vs-measured table per
+// experiment.
+//
+// Usage:
+//
+//	simba-bench [-quick] [-days N] [-out FILE]
+//
+// -quick runs reduced sizes (a few seconds); the default sizes
+// reproduce the full study, including the 30-day fault log, in a few
+// minutes of wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"simba/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced experiment sizes")
+	days := flag.Int("days", 0, "override the fault-study length in days")
+	out := flag.String("out", "", "also write the tables to this file")
+	flag.Parse()
+
+	sizes := harness.Sizes{}
+	if *quick {
+		sizes = harness.QuickSizes()
+	}
+	if *days > 0 {
+		sizes.E5Days = *days
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	tmp, err := os.MkdirTemp("", "simba-bench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	fmt.Fprintln(w, "SIMBA experiment harness — reproducing MSR-TR-2000-117 / DSN 2001")
+	fmt.Fprintln(w)
+	if _, err := harness.RunAll(tmp, sizes, w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample() *Alert {
+	return &Alert{
+		ID:       "a-1",
+		Source:   "yahoo-finance",
+		Keywords: []string{"Stocks", "Earnings reports"},
+		Subject:  "MSFT earnings out",
+		Body:     "Microsoft reported quarterly earnings.\nSee attached.",
+		Urgency:  UrgencyHigh,
+		Created:  time.Date(2001, 3, 26, 10, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestUrgencyStringRoundTrip(t *testing.T) {
+	for _, u := range []Urgency{UrgencyLow, UrgencyNormal, UrgencyHigh, UrgencyCritical} {
+		got, err := ParseUrgency(u.String())
+		if err != nil {
+			t.Fatalf("ParseUrgency(%q): %v", u.String(), err)
+		}
+		if got != u {
+			t.Fatalf("round trip %v -> %v", u, got)
+		}
+	}
+}
+
+func TestParseUrgencyUnknown(t *testing.T) {
+	if _, err := ParseUrgency("shiny"); err == nil {
+		t.Fatal("expected error for unknown urgency")
+	}
+}
+
+func TestUrgencyStringUnknown(t *testing.T) {
+	if got := Urgency(99).String(); got != "urgency(99)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Alert)
+		wantErr bool
+	}{
+		{"valid", func(*Alert) {}, false},
+		{"missing id", func(a *Alert) { a.ID = "" }, true},
+		{"missing source", func(a *Alert) { a.Source = "" }, true},
+		{"zero created", func(a *Alert) { a.Created = time.Time{} }, true},
+		{"bad urgency low", func(a *Alert) { a.Urgency = 0 }, true},
+		{"bad urgency high", func(a *Alert) { a.Urgency = 9 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := sample()
+			tt.mutate(a)
+			err := a.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNextIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NextID("x")
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestDedupKeyStableAndDistinct(t *testing.T) {
+	a := sample()
+	b := a.Clone()
+	if a.DedupKey() != b.DedupKey() {
+		t.Fatal("clone has different dedup key")
+	}
+	c := a.Clone()
+	c.Created = c.Created.Add(time.Nanosecond)
+	if a.DedupKey() == c.DedupKey() {
+		t.Fatal("different creation times share a dedup key")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := sample()
+	b := a.Clone()
+	b.Keywords[0] = "mutated"
+	if a.Keywords[0] == "mutated" {
+		t.Fatal("Clone shares keyword backing array")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := sample()
+	data, err := a.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	if !IsWirePayload(string(data)) {
+		t.Fatal("payload not recognized by IsWirePayload")
+	}
+	var got Alert
+	if err := got.UnmarshalText(data); err != nil {
+		t.Fatalf("UnmarshalText: %v", err)
+	}
+	assertEqualAlert(t, a, &got)
+}
+
+func TestMarshalEmptyKeywordsAndBody(t *testing.T) {
+	a := sample()
+	a.Keywords = nil
+	a.Body = ""
+	data, err := a.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	var got Alert
+	if err := got.UnmarshalText(data); err != nil {
+		t.Fatalf("UnmarshalText: %v", err)
+	}
+	if len(got.Keywords) != 0 || got.Body != "" {
+		t.Fatalf("got keywords %v body %q, want empty", got.Keywords, got.Body)
+	}
+}
+
+func TestMarshalSanitizesSubjectNewlines(t *testing.T) {
+	a := sample()
+	a.Subject = "line1\nline2\rline3"
+	data, err := a.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	var got Alert
+	if err := got.UnmarshalText(data); err != nil {
+		t.Fatalf("UnmarshalText: %v", err)
+	}
+	if strings.ContainsAny(got.Subject, "\r\n") {
+		t.Fatalf("subject still contains newline: %q", got.Subject)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"hello world",
+		"SIMBA-ALERT/2\nID: x\nBODY:\n",
+		"SIMBA-ALERT/1\nID x no colon at all…\nBODY:\n",
+		"SIMBA-ALERT/1\nURGENCY: nope\nBODY:\n",
+		"SIMBA-ALERT/1\nCREATED: notanumber\nBODY:\n",
+		"SIMBA-ALERT/1\nBODY:\n", // missing required headers
+	} {
+		var a Alert
+		if err := a.UnmarshalText([]byte(in)); err == nil {
+			t.Fatalf("UnmarshalText(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestUnmarshalIgnoresUnknownHeader(t *testing.T) {
+	a := sample()
+	data, _ := a.MarshalText()
+	withExtra := strings.Replace(string(data), "BODY:\n", "X-FUTURE: yes\nBODY:\n", 1)
+	var got Alert
+	if err := got.UnmarshalText([]byte(withExtra)); err != nil {
+		t.Fatalf("UnmarshalText with unknown header: %v", err)
+	}
+	assertEqualAlert(t, a, &got)
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(id, source, subject, body string, kw []string, urgPick uint8, unixSec int32) bool {
+		if id == "" || source == "" {
+			return true // Validate rejects; covered elsewhere.
+		}
+		id = sanitizeLine(id)
+		source = sanitizeLine(source)
+		if strings.ContainsAny(id+source, ":") {
+			return true // header values with colons are legal but keep the property simple
+		}
+		var clean []string
+		for _, k := range kw {
+			k = sanitizeLine(k)
+			if k == "" || strings.ContainsAny(k, ",:") {
+				return true
+			}
+			clean = append(clean, k)
+		}
+		a := &Alert{
+			ID:       id,
+			Source:   source,
+			Keywords: clean,
+			Subject:  sanitizeLine(subject),
+			Body:     body,
+			Urgency:  Urgency(int(urgPick%4) + 1),
+			Created:  time.Unix(int64(unixSec), 0).UTC(),
+		}
+		if a.Created.IsZero() {
+			return true
+		}
+		data, err := a.MarshalText()
+		if err != nil {
+			return false
+		}
+		var got Alert
+		if err := got.UnmarshalText(data); err != nil {
+			return false
+		}
+		if got.ID != a.ID || got.Source != a.Source || got.Subject != a.Subject ||
+			got.Body != a.Body || got.Urgency != a.Urgency || !got.Created.Equal(a.Created) {
+			return false
+		}
+		if len(got.Keywords) != len(a.Keywords) {
+			return false
+		}
+		for i := range got.Keywords {
+			if got.Keywords[i] != a.Keywords[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertEqualAlert(t *testing.T, want, got *Alert) {
+	t.Helper()
+	if got.ID != want.ID || got.Source != want.Source || got.Subject != want.Subject ||
+		got.Body != want.Body || got.Urgency != want.Urgency || !got.Created.Equal(want.Created) {
+		t.Fatalf("alert mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if strings.Join(got.Keywords, "|") != strings.Join(want.Keywords, "|") {
+		t.Fatalf("keywords mismatch: got %v want %v", got.Keywords, want.Keywords)
+	}
+}

@@ -1,0 +1,167 @@
+// Package assistant implements the SIMBA Desktop Assistant of Section
+// 2.5: software on the user's primary machine that stays inactive
+// until the interactive idle time exceeds a user-specified threshold,
+// then forwards high-importance incoming emails and calendar reminders
+// as alerts (the paper sent them as SMS messages; under the SIMBA
+// architecture they are routed through MyAlertBuddy like every other
+// alert). If the software determines the user has processed email from
+// somewhere else, email forwarding is suppressed.
+package assistant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/core"
+)
+
+// DefaultIdleThreshold is how long the desktop must be idle before the
+// assistant activates.
+const DefaultIdleThreshold = 10 * time.Minute
+
+// Config parameterizes an Assistant.
+type Config struct {
+	// Clock is required.
+	Clock clock.Clock
+	// Target is where alerts go (the buddy); required.
+	Target *core.Target
+	// IdleThreshold overrides DefaultIdleThreshold.
+	IdleThreshold time.Duration
+	// OnReport observes alert deliveries. Optional.
+	OnReport func(a *alert.Alert, rep *core.Report, err error)
+}
+
+// Assistant is the desktop assistant.
+type Assistant struct {
+	cfg Config
+
+	mu               sync.Mutex
+	lastActivity     time.Time
+	readElsewhere    bool
+	alertsSent       int
+	onScreenPopups   int
+	suppressedEmails int
+}
+
+// New builds an assistant. The desktop starts "active" (activity now).
+func New(cfg Config) (*Assistant, error) {
+	if cfg.Clock == nil || cfg.Target == nil {
+		return nil, errors.New("assistant: Config requires Clock and Target")
+	}
+	if cfg.IdleThreshold <= 0 {
+		cfg.IdleThreshold = DefaultIdleThreshold
+	}
+	return &Assistant{cfg: cfg, lastActivity: cfg.Clock.Now()}, nil
+}
+
+// Activity records interactive input (keyboard/mouse), resetting the
+// idle clock.
+func (a *Assistant) Activity() {
+	a.mu.Lock()
+	a.lastActivity = a.cfg.Clock.Now()
+	a.mu.Unlock()
+}
+
+// IdleFor returns how long the desktop has been idle.
+func (a *Assistant) IdleFor() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.Clock.Now().Sub(a.lastActivity)
+}
+
+// active reports whether the assistant should forward alerts: the user
+// is away (idle beyond threshold).
+func (a *Assistant) active() bool {
+	return a.IdleFor() >= a.cfg.IdleThreshold
+}
+
+// SetEmailsReadElsewhere tells the assistant the user is processing
+// email from another device; incoming-email alerts are suppressed.
+func (a *Assistant) SetEmailsReadElsewhere(v bool) {
+	a.mu.Lock()
+	a.readElsewhere = v
+	a.mu.Unlock()
+}
+
+// AlertsSent returns how many alerts the assistant forwarded.
+func (a *Assistant) AlertsSent() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alertsSent
+}
+
+// OnScreenPopups returns how many reminders popped on the desktop
+// instead of being forwarded (user present).
+func (a *Assistant) OnScreenPopups() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.onScreenPopups
+}
+
+// SuppressedEmails returns emails not forwarded because the user reads
+// mail elsewhere or importance was low.
+func (a *Assistant) SuppressedEmails() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.suppressedEmails
+}
+
+// IncomingEmail notifies the assistant of a newly arrived email on the
+// desktop. High-importance email is forwarded when the user is away.
+func (a *Assistant) IncomingEmail(from, subject string, importance alert.Urgency) {
+	a.mu.Lock()
+	readElsewhere := a.readElsewhere
+	a.mu.Unlock()
+	if importance < alert.UrgencyHigh || !a.active() || readElsewhere {
+		a.mu.Lock()
+		a.suppressedEmails++
+		a.mu.Unlock()
+		return
+	}
+	a.send(&alert.Alert{
+		ID:       alert.NextID("assist-em"),
+		Source:   "desktop-assistant",
+		Keywords: []string{"Email"},
+		Subject:  fmt.Sprintf("Email: %s", subject),
+		Body:     fmt.Sprintf("High-importance email from %s: %s", from, subject),
+		Urgency:  importance,
+		Created:  a.cfg.Clock.Now(),
+	})
+}
+
+// ScheduleReminder arms a calendar reminder that fires after the given
+// offset. When it fires, it pops on screen if the user is present, or
+// is forwarded as an alert if the user is away and it is important.
+func (a *Assistant) ScheduleReminder(subject string, importance alert.Urgency, in time.Duration) {
+	a.cfg.Clock.AfterFunc(in, func() {
+		if !a.active() || importance < alert.UrgencyHigh {
+			a.mu.Lock()
+			a.onScreenPopups++
+			a.mu.Unlock()
+			return
+		}
+		a.send(&alert.Alert{
+			ID:       alert.NextID("assist-rem"),
+			Source:   "desktop-assistant",
+			Keywords: []string{"Reminder"},
+			Subject:  fmt.Sprintf("Reminder: %s", subject),
+			Body:     fmt.Sprintf("Calendar reminder: %s", subject),
+			Urgency:  importance,
+			Created:  a.cfg.Clock.Now(),
+		})
+	})
+}
+
+func (a *Assistant) send(al *alert.Alert) {
+	a.mu.Lock()
+	a.alertsSent++
+	a.mu.Unlock()
+	rep, err := a.cfg.Target.Deliver(al)
+	if a.cfg.OnReport != nil {
+		a.cfg.OnReport(al, rep, err)
+	}
+}

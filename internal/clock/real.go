@@ -1,0 +1,45 @@
+package clock
+
+import "time"
+
+// Real is a Clock backed by package time. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns a Clock backed by the wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time        { return rt.t.C }
+func (rt realTimer) Stop() bool                 { return rt.t.Stop() }
+func (rt realTimer) Reset(d time.Duration) bool { return rt.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }

@@ -1,0 +1,20 @@
+// Package core implements the SIMBA library of Section 4.1 — the code
+// shared by MyAlertBuddy and the alert sources. It has two layers:
+//
+//   - the subscription layer (Store): registration of users, their
+//     address books, their named delivery modes, and subscriptions
+//     mapping a category name to a (user, delivery mode) pair, with
+//     multiple subscribers per category;
+//
+//   - the delivery engine (Engine): executes a delivery mode against a
+//     user's address registry, trying communication blocks in order.
+//     IM actions require an application-level acknowledgement tagged
+//     with the IM message sequence number; email and SMS actions are
+//     fire-and-forget and count as confirmed on accept (which is why a
+//     block whose SMS address has been disabled "automatically fails
+//     and falls back to the next backup block", per Section 3.3).
+//
+// SMS is reached through the carrier's email gateway address, exactly
+// as the paper's sources did, so the engine needs only an IM sender
+// and an email sender.
+package core

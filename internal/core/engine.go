@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"simba/internal/addr"
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dmode"
+	"simba/internal/im"
+)
+
+// Engine errors.
+var (
+	// ErrNoChannel indicates the engine has no sender for an action's
+	// communication type.
+	ErrNoChannel = errors.New("core: no sender configured for channel")
+	// ErrUnknownAddress indicates an action references a friendly name
+	// absent from the user's registry.
+	ErrUnknownAddress = errors.New("core: action references unknown address")
+	// ErrAddressDisabled indicates the referenced address is disabled.
+	ErrAddressDisabled = errors.New("core: address disabled")
+	// ErrAllBlocksFailed indicates every communication block failed.
+	ErrAllBlocksFailed = errors.New("core: all delivery blocks failed")
+)
+
+// IMSender transmits instant messages. Both commgr.IMManager and the
+// lightweight DirectIM adapter satisfy it.
+type IMSender interface {
+	// Send transmits text and returns the IM message sequence number.
+	Send(to, text string) (uint64, error)
+}
+
+// EmailSender submits email. Both commgr.EmailManager and the
+// DirectEmail adapter satisfy it.
+type EmailSender interface {
+	Send(to, subject, body string) error
+}
+
+// ackPrefix tags application-level acknowledgement IMs; per the paper,
+// acks are tagged with the IM message sequence numbers.
+const ackPrefix = "SIMBA-ACK "
+
+// AckText builds the acknowledgement text for a received IM alert.
+func AckText(seq uint64) string {
+	return ackPrefix + strconv.FormatUint(seq, 10)
+}
+
+// ParseAck reports whether text is an acknowledgement and, if so, the
+// acknowledged sequence number.
+func ParseAck(text string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(text, ackPrefix)
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// ActionResult records one action's outcome.
+type ActionResult struct {
+	// AddressName is the friendly name the action referenced.
+	AddressName string
+	// Type is the communication type actually used (zero if unknown).
+	Type addr.Type
+	// Target is the network address used.
+	Target string
+	// Seq is the IM sequence number (IM actions only).
+	Seq uint64
+	// Err is the send or confirmation error, nil on success.
+	Err error
+	// AckedAt is when the IM acknowledgement arrived (IM actions only).
+	AckedAt time.Time
+}
+
+// BlockResult records one communication block's outcome.
+type BlockResult struct {
+	Index     int
+	Actions   []ActionResult
+	Succeeded bool
+	Elapsed   time.Duration
+}
+
+// Report summarizes one delivery-mode execution.
+type Report struct {
+	AlertKey  string
+	ModeName  string
+	Blocks    []BlockResult
+	Delivered bool
+	// DeliveredVia is the friendly name of the address that confirmed
+	// delivery ("" when not delivered).
+	DeliveredVia string
+	StartedAt    time.Time
+	FinishedAt   time.Time
+}
+
+// Latency returns the total delivery time.
+func (r *Report) Latency() time.Duration { return r.FinishedAt.Sub(r.StartedAt) }
+
+// Engine executes delivery modes. It is safe for concurrent use; any
+// number of Deliver calls may be in flight.
+type Engine struct {
+	clk   clock.Clock
+	im    IMSender
+	email EmailSender
+
+	mu      sync.Mutex
+	pending map[ackKey]*pendingAck
+}
+
+type ackKey struct {
+	handle string
+	seq    uint64
+}
+
+type pendingAck struct {
+	ch   chan ackArrival
+	name string // friendly address name
+}
+
+type ackArrival struct {
+	name string
+	at   time.Time
+}
+
+// NewEngine builds a delivery engine. Either sender may be nil when
+// the caller has no channel of that type; actions needing it fail with
+// ErrNoChannel.
+func NewEngine(clk clock.Clock, imSender IMSender, emailSender EmailSender) (*Engine, error) {
+	if clk == nil {
+		return nil, errors.New("core: clock is required")
+	}
+	return &Engine{
+		clk:     clk,
+		im:      imSender,
+		email:   emailSender,
+		pending: make(map[ackKey]*pendingAck),
+	}, nil
+}
+
+// HandleIncoming inspects an incoming IM. If it is an acknowledgement
+// for a pending IM action, the ack is resolved and HandleIncoming
+// reports true (the message is consumed). All other messages report
+// false and should be processed by the caller.
+func (e *Engine) HandleIncoming(msg im.Message) bool {
+	seq, ok := ParseAck(msg.Text)
+	if !ok {
+		return false
+	}
+	key := ackKey{handle: msg.From, seq: seq}
+	e.mu.Lock()
+	p, ok := e.pending[key]
+	if ok {
+		delete(e.pending, key)
+	}
+	e.mu.Unlock()
+	if ok {
+		select {
+		case p.ch <- ackArrival{name: p.name, at: e.clk.Now()}:
+		default:
+		}
+	}
+	return true // consume stray acks too
+}
+
+// PendingAcks reports how many IM acknowledgements are outstanding.
+func (e *Engine) PendingAcks() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// Deliver executes the delivery mode for one alert against the user's
+// address registry, trying blocks in order until one succeeds. It
+// blocks for up to the sum of the blocks' timeouts (only blocks that
+// must wait for an IM acknowledgement consume their timeout).
+func (e *Engine) Deliver(a *alert.Alert, reg *addr.Registry, mode *dmode.Mode) (*Report, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mode.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := a.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		AlertKey:  a.DedupKey(),
+		ModeName:  mode.Name,
+		StartedAt: e.clk.Now(),
+	}
+	for i := range mode.Blocks {
+		br := e.runBlock(i, &mode.Blocks[i], reg, a, payload)
+		report.Blocks = append(report.Blocks, br)
+		if br.Succeeded {
+			report.Delivered = true
+			report.DeliveredVia = deliveredVia(br)
+			break
+		}
+	}
+	report.FinishedAt = e.clk.Now()
+	if !report.Delivered {
+		return report, fmt.Errorf("core: alert %s mode %s: %w", a.ID, mode.Name, ErrAllBlocksFailed)
+	}
+	return report, nil
+}
+
+// runBlock performs all enabled actions of one block and decides its
+// outcome: immediate success if any fire-and-forget action was
+// accepted, else success iff an IM acknowledgement arrives within the
+// block timeout.
+func (e *Engine) runBlock(index int, b *dmode.Block, reg *addr.Registry, a *alert.Alert, payload []byte) BlockResult {
+	start := e.clk.Now()
+	br := BlockResult{Index: index}
+	ackCh := make(chan ackArrival, len(b.Actions))
+	var keys []ackKey
+	immediate := "" // friendly name of a fire-and-forget success
+
+	for _, action := range b.Actions {
+		res := ActionResult{AddressName: action.Address}
+		address, ok := reg.Lookup(action.Address)
+		switch {
+		case !ok:
+			res.Err = fmt.Errorf("%q: %w", action.Address, ErrUnknownAddress)
+		case !address.Enabled:
+			res.Type, res.Target = address.Type, address.Target
+			res.Err = fmt.Errorf("%q: %w", action.Address, ErrAddressDisabled)
+		default:
+			res.Type, res.Target = address.Type, address.Target
+			switch address.Type {
+			case addr.TypeIM:
+				if e.im == nil {
+					res.Err = fmt.Errorf("IM: %w", ErrNoChannel)
+					break
+				}
+				seq, err := e.im.Send(address.Target, string(payload))
+				if err != nil {
+					res.Err = err
+					break
+				}
+				res.Seq = seq
+				key := ackKey{handle: address.Target, seq: seq}
+				e.mu.Lock()
+				e.pending[key] = &pendingAck{ch: ackCh, name: address.Name}
+				e.mu.Unlock()
+				keys = append(keys, key)
+			case addr.TypeEmail, addr.TypeSMS:
+				// SMS rides the carrier's email gateway, so both types
+				// are email submissions; accept == confirmed.
+				if e.email == nil {
+					res.Err = fmt.Errorf("%s: %w", address.Type, ErrNoChannel)
+					break
+				}
+				if err := e.email.Send(address.Target, a.Subject, string(payload)); err != nil {
+					res.Err = err
+					break
+				}
+				if immediate == "" {
+					immediate = address.Name
+				}
+			default:
+				res.Err = fmt.Errorf("type %q: %w", address.Type, ErrNoChannel)
+			}
+		}
+		br.Actions = append(br.Actions, res)
+	}
+
+	switch {
+	case immediate != "":
+		br.Succeeded = true
+	case len(keys) > 0:
+		timer := e.clk.NewTimer(b.EffectiveTimeout())
+		select {
+		case arr := <-ackCh:
+			timer.Stop()
+			br.Succeeded = true
+			for i := range br.Actions {
+				if br.Actions[i].AddressName == arr.name && br.Actions[i].Err == nil {
+					br.Actions[i].AckedAt = arr.at
+				}
+			}
+		case <-timer.C():
+			for i := range br.Actions {
+				if br.Actions[i].Err == nil && br.Actions[i].Type == addr.TypeIM {
+					br.Actions[i].Err = fmt.Errorf("no acknowledgement within %v", b.EffectiveTimeout())
+				}
+			}
+		}
+	}
+	// Unregister any acks still pending for this block.
+	e.mu.Lock()
+	for _, k := range keys {
+		if p, ok := e.pending[k]; ok && p.ch == ackCh {
+			delete(e.pending, k)
+		}
+	}
+	e.mu.Unlock()
+	br.Elapsed = e.clk.Now().Sub(start)
+	return br
+}
+
+// deliveredVia picks the confirming address name from a succeeded
+// block: an acked IM action first, else the first fire-and-forget
+// success.
+func deliveredVia(br BlockResult) string {
+	for _, res := range br.Actions {
+		if !res.AckedAt.IsZero() {
+			return res.AddressName
+		}
+	}
+	for _, res := range br.Actions {
+		if res.Err == nil && (res.Type == addr.TypeEmail || res.Type == addr.TypeSMS) {
+			return res.AddressName
+		}
+	}
+	return ""
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"simba/internal/addr"
+	"simba/internal/dmode"
+)
+
+func newProfile(t *testing.T, s *Store, name string) *Profile {
+	t.Helper()
+	p, err := s.RegisterUser(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRegisterUser(t *testing.T) {
+	s := NewStore()
+	if _, err := s.RegisterUser(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	p := newProfile(t, s, "alice")
+	if p.Name() != "alice" || p.Addresses().User() != "alice" {
+		t.Fatalf("profile = %+v", p)
+	}
+	if _, err := s.RegisterUser("alice"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	got, err := s.User("alice")
+	if err != nil || got != p {
+		t.Fatalf("User() = %v, %v", got, err)
+	}
+	if _, err := s.User("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("User(ghost) = %v", err)
+	}
+}
+
+func TestDefineModeValidatesAndCopies(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	bad := &dmode.Mode{Name: "bad"}
+	if err := p.DefineMode(bad); err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+	m := dmode.Figure4()
+	if err := p.DefineMode(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Blocks[0].Actions[0].Address = "mutated"
+	got, err := p.Mode("Urgent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Blocks[0].Actions[0].Address == "mutated" {
+		t.Fatal("DefineMode aliased caller's mode")
+	}
+	got.Blocks[0].Actions[0].Address = "mutated-again"
+	got2, _ := p.Mode("Urgent")
+	if got2.Blocks[0].Actions[0].Address == "mutated-again" {
+		t.Fatal("Mode returned aliased copy")
+	}
+	if _, err := p.Mode("nope"); !errors.Is(err, ErrUnknownMode) {
+		t.Fatalf("Mode(nope) = %v", err)
+	}
+}
+
+func TestModeNamesSorted(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		m := dmode.Figure4()
+		m.Name = name
+		if err := p.DefineMode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.ModeNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ModeNames() = %v", got)
+		}
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	if err := p.DefineMode(dmode.Figure4()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("", "alice", "Urgent"); err == nil {
+		t.Fatal("empty category accepted")
+	}
+	if err := s.Subscribe("Investment", "ghost", "Urgent"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("Subscribe unknown user = %v", err)
+	}
+	if err := s.Subscribe("Investment", "alice", "nope"); !errors.Is(err, ErrUnknownMode) {
+		t.Fatalf("Subscribe unknown mode = %v", err)
+	}
+	if err := s.Subscribe("Investment", "alice", "Urgent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResubscribeReplacesMode(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	m1 := dmode.Figure4()
+	m2 := dmode.Figure4()
+	m2.Name = "Relaxed"
+	if err := p.DefineMode(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DefineMode(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("Investment", "alice", "Urgent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("Investment", "alice", "Relaxed"); err != nil {
+		t.Fatal(err)
+	}
+	subs := s.Subscribers("Investment")
+	if len(subs) != 1 || subs[0].Mode != "Relaxed" {
+		t.Fatalf("Subscribers = %+v", subs)
+	}
+}
+
+func TestMultipleSubscribersPerCategory(t *testing.T) {
+	s := NewStore()
+	for _, name := range []string{"alice", "bob"} {
+		p := newProfile(t, s, name)
+		if err := p.DefineMode(dmode.Figure4()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Subscribe("HomeAlarm", name, "Urgent"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs := s.Subscribers("HomeAlarm")
+	if len(subs) != 2 || subs[0].User != "alice" || subs[1].User != "bob" {
+		t.Fatalf("Subscribers = %+v", subs)
+	}
+	// Returned slice must not alias internal state.
+	subs[0].User = "mallory"
+	if s.Subscribers("HomeAlarm")[0].User != "alice" {
+		t.Fatal("Subscribers aliases internal slice")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	if err := p.DefineMode(dmode.Figure4()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("X", "alice", "Urgent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unsubscribe("X", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Subscribers("X"); len(got) != 0 {
+		t.Fatalf("Subscribers after unsubscribe = %+v", got)
+	}
+	if err := s.Unsubscribe("X", "alice"); !errors.Is(err, ErrNotSubscribed) {
+		t.Fatalf("double Unsubscribe = %v", err)
+	}
+	if got := s.Categories(); len(got) != 0 {
+		t.Fatalf("Categories = %v", got)
+	}
+}
+
+func TestCategoriesSorted(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	if err := p.DefineMode(dmode.Figure4()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"zeta", "alpha"} {
+		if err := s.Subscribe(c, "alice", "Urgent"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Categories()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Categories = %v", got)
+	}
+}
+
+func TestProfileAddressFlow(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	err := p.Addresses().Register(addr.Address{
+		Type: addr.TypeIM, Name: "MSN IM", Target: "alice@im.sim", Enabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := dmode.IMThenEmail("MSN IM", "Work email", 10*time.Second)
+	if err := p.DefineMode(mode); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Mode("IMThenEmail")
+	if err != nil || len(got.Blocks) != 2 {
+		t.Fatalf("Mode = %+v, %v", got, err)
+	}
+}
+
+func TestLoadXMLDocuments(t *testing.T) {
+	s := NewStore()
+	p := newProfile(t, s, "alice")
+	addrXML, err := os.ReadFile("testdata/alice-addresses.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadAddressBookXML(addrXML); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Addresses().All()); got != 4 {
+		t.Fatalf("loaded %d addresses", got)
+	}
+	if a, ok := p.Addresses().Lookup("Home email"); !ok || a.Enabled {
+		t.Fatalf("Home email = %+v, %v", a, ok)
+	}
+	modeXML, err := os.ReadFile("testdata/urgent-mode.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadModeXML(modeXML); err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Mode("Urgent")
+	if err != nil || len(m.Blocks) != 2 {
+		t.Fatalf("Mode = %+v, %v", m, err)
+	}
+	if err := s.Subscribe("Investment", "alice", "Urgent"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched user and malformed documents are rejected.
+	q := newProfile(t, s, "bob")
+	if err := q.LoadAddressBookXML(addrXML); err == nil {
+		t.Fatal("mismatched user accepted")
+	}
+	if err := p.LoadAddressBookXML([]byte("<nope")); err == nil {
+		t.Fatal("malformed address book accepted")
+	}
+	if err := p.LoadModeXML([]byte("<nope")); err == nil {
+		t.Fatal("malformed mode accepted")
+	}
+}

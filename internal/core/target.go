@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+
+	"simba/internal/addr"
+	"simba/internal/alert"
+	"simba/internal/dmode"
+)
+
+// Target bundles a delivery engine with a destination address registry
+// and a delivery mode. Alert sources hold a Target pointing at the
+// user's MyAlertBuddy (its IM handle and email address, with the
+// "IM-with-acknowledgement followed by email" mode) and call Deliver
+// for every alert they generate.
+type Target struct {
+	engine *Engine
+	reg    *addr.Registry
+	mode   *dmode.Mode
+}
+
+// NewTarget validates and bundles the pieces.
+func NewTarget(engine *Engine, reg *addr.Registry, mode *dmode.Mode) (*Target, error) {
+	if engine == nil || reg == nil || mode == nil {
+		return nil, errors.New("core: Target requires engine, registry, and mode")
+	}
+	if err := mode.Validate(); err != nil {
+		return nil, err
+	}
+	return &Target{engine: engine, reg: reg, mode: mode.Clone()}, nil
+}
+
+// Deliver routes one alert to the target.
+func (t *Target) Deliver(a *alert.Alert) (*Report, error) {
+	return t.engine.Deliver(a, t.reg, t.mode)
+}
+
+// BuddyTarget builds the canonical source→buddy target: the buddy's IM
+// handle with acknowledgement, falling back to the buddy's email
+// address. ackTimeout bounds the IM block (zero means the dmode
+// default).
+func BuddyTarget(engine *Engine, buddyIMHandle, buddyEmail string, ackTimeout dmode.Duration) (*Target, error) {
+	reg := addr.NewRegistry("buddy")
+	if err := reg.Register(addr.Address{
+		Type: addr.TypeIM, Name: "Buddy IM", Target: buddyIMHandle, Enabled: true,
+	}); err != nil {
+		return nil, err
+	}
+	if err := reg.Register(addr.Address{
+		Type: addr.TypeEmail, Name: "Buddy email", Target: buddyEmail, Enabled: true,
+	}); err != nil {
+		return nil, err
+	}
+	mode := &dmode.Mode{Name: "IMThenEmail", Blocks: []dmode.Block{
+		{Timeout: ackTimeout, Actions: []dmode.Action{{Address: "Buddy IM"}}},
+		{Actions: []dmode.Action{{Address: "Buddy email"}}},
+	}}
+	return NewTarget(engine, reg, mode)
+}

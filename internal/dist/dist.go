@@ -1,0 +1,205 @@
+// Package dist provides seeded random delay distributions used by the
+// simulated communication substrates. The paper characterizes email and
+// SMS latency as "unpredictable ... ranging from seconds to days"; the
+// heavy-tailed distributions here reproduce that contract, while IM
+// hops use tight distributions around a few hundred milliseconds.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RNG is a concurrency-safe source of randomness with a fixed seed, so
+// every experiment is reproducible.
+type RNG struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewRNG returns a seeded RNG.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64()
+}
+
+// NormFloat64 returns a standard-normal value.
+func (g *RNG) NormFloat64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.NormFloat64()
+}
+
+// ExpFloat64 returns an exponential value with mean 1.
+func (g *RNG) ExpFloat64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.ExpFloat64()
+}
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Intn(n)
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.Float64() < p
+}
+
+// Dist produces random durations.
+type Dist interface {
+	// Sample draws one duration. Implementations never return a
+	// negative duration.
+	Sample(g *RNG) time.Duration
+}
+
+// Fixed always returns the same duration.
+type Fixed time.Duration
+
+var _ Dist = Fixed(0)
+
+// Sample implements Dist.
+func (f Fixed) Sample(*RNG) time.Duration { return clampNonNegative(time.Duration(f)) }
+
+// Uniform samples uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+var _ Dist = Uniform{}
+
+// Sample implements Dist.
+func (u Uniform) Sample(g *RNG) time.Duration {
+	if u.Max <= u.Min {
+		return clampNonNegative(u.Min)
+	}
+	span := float64(u.Max - u.Min)
+	return clampNonNegative(u.Min + time.Duration(g.Float64()*span))
+}
+
+// Normal samples from a normal distribution truncated at Floor.
+type Normal struct {
+	Mean, Stddev time.Duration
+	// Floor is the minimum returned value (defaults to 0).
+	Floor time.Duration
+}
+
+var _ Dist = Normal{}
+
+// Sample implements Dist.
+func (n Normal) Sample(g *RNG) time.Duration {
+	v := time.Duration(float64(n.Mean) + g.NormFloat64()*float64(n.Stddev))
+	if v < n.Floor {
+		v = n.Floor
+	}
+	return clampNonNegative(v)
+}
+
+// Exponential samples from an exponential distribution with the given
+// mean, shifted by Base.
+type Exponential struct {
+	Mean time.Duration
+	Base time.Duration
+}
+
+var _ Dist = Exponential{}
+
+// Sample implements Dist.
+func (e Exponential) Sample(g *RNG) time.Duration {
+	return clampNonNegative(e.Base + time.Duration(g.ExpFloat64()*float64(e.Mean)))
+}
+
+// LogNormal samples exp(N(Mu, Sigma)) seconds. It models heavy-tailed
+// store-and-forward delays (email, SMS) where most messages arrive in
+// seconds but a tail takes hours or days.
+type LogNormal struct {
+	// Mu and Sigma parameterize the underlying normal in log-seconds.
+	Mu, Sigma float64
+}
+
+var _ Dist = LogNormal{}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(g *RNG) time.Duration {
+	secs := math.Exp(l.Mu + l.Sigma*g.NormFloat64())
+	return clampNonNegative(time.Duration(secs * float64(time.Second)))
+}
+
+// Mixture samples from one of several distributions with the given
+// weights. Use it to model "usually fast, occasionally very slow".
+type Mixture struct {
+	Components []Component
+}
+
+// Component is one arm of a Mixture.
+type Component struct {
+	Weight float64
+	Dist   Dist
+}
+
+var _ Dist = Mixture{}
+
+// NewMixture builds a mixture and validates weights.
+func NewMixture(components ...Component) (Mixture, error) {
+	if len(components) == 0 {
+		return Mixture{}, fmt.Errorf("dist: mixture needs at least one component")
+	}
+	total := 0.0
+	for _, c := range components {
+		if c.Weight < 0 {
+			return Mixture{}, fmt.Errorf("dist: negative mixture weight %v", c.Weight)
+		}
+		if c.Dist == nil {
+			return Mixture{}, fmt.Errorf("dist: nil mixture component")
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return Mixture{}, fmt.Errorf("dist: mixture weights sum to %v", total)
+	}
+	return Mixture{Components: components}, nil
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(g *RNG) time.Duration {
+	if len(m.Components) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range m.Components {
+		total += c.Weight
+	}
+	pick := g.Float64() * total
+	for _, c := range m.Components {
+		pick -= c.Weight
+		if pick < 0 {
+			return c.Dist.Sample(g)
+		}
+	}
+	return m.Components[len(m.Components)-1].Dist.Sample(g)
+}
+
+func clampNonNegative(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

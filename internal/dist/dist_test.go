@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGReproducible(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	if g.Bool(0) {
+		t.Fatal("Bool(0) = true")
+	}
+	if !g.Bool(1) {
+		t.Fatal("Bool(1) = false")
+	}
+	trues := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	g := NewRNG(1)
+	if got := Fixed(3 * time.Second).Sample(g); got != 3*time.Second {
+		t.Fatalf("Fixed sample = %v", got)
+	}
+	if got := Fixed(-time.Second).Sample(g); got != 0 {
+		t.Fatalf("negative Fixed sample = %v, want 0", got)
+	}
+}
+
+func TestUniformWithinBounds(t *testing.T) {
+	g := NewRNG(7)
+	u := Uniform{Min: time.Second, Max: 5 * time.Second}
+	for i := 0; i < 1000; i++ {
+		got := u.Sample(g)
+		if got < u.Min || got > u.Max {
+			t.Fatalf("uniform sample %v outside [%v, %v]", got, u.Min, u.Max)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	g := NewRNG(7)
+	u := Uniform{Min: 2 * time.Second, Max: time.Second}
+	if got := u.Sample(g); got != 2*time.Second {
+		t.Fatalf("degenerate uniform = %v", got)
+	}
+}
+
+func TestNormalRespectsFloor(t *testing.T) {
+	g := NewRNG(3)
+	n := Normal{Mean: time.Second, Stddev: 10 * time.Second, Floor: 200 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if got := n.Sample(g); got < n.Floor {
+			t.Fatalf("normal sample %v below floor", got)
+		}
+	}
+}
+
+func TestNormalMeanApproximate(t *testing.T) {
+	g := NewRNG(11)
+	n := Normal{Mean: 10 * time.Second, Stddev: time.Second}
+	var sum time.Duration
+	const count = 5000
+	for i := 0; i < count; i++ {
+		sum += n.Sample(g)
+	}
+	mean := sum / count
+	if mean < 9500*time.Millisecond || mean > 10500*time.Millisecond {
+		t.Fatalf("empirical mean %v too far from 10s", mean)
+	}
+}
+
+func TestExponentialBaseAndMean(t *testing.T) {
+	g := NewRNG(5)
+	e := Exponential{Mean: 2 * time.Second, Base: time.Second}
+	var sum time.Duration
+	const count = 5000
+	for i := 0; i < count; i++ {
+		s := e.Sample(g)
+		if s < e.Base {
+			t.Fatalf("sample %v below base", s)
+		}
+		sum += s
+	}
+	mean := sum / count
+	if mean < 2700*time.Millisecond || mean > 3300*time.Millisecond {
+		t.Fatalf("empirical mean %v, want ~3s", mean)
+	}
+}
+
+func TestLogNormalHeavyTail(t *testing.T) {
+	g := NewRNG(9)
+	// Median exp(mu) = ~8s, sigma 2 → long tail.
+	l := LogNormal{Mu: 2.1, Sigma: 2}
+	fast, slow := 0, 0
+	for i := 0; i < 5000; i++ {
+		s := l.Sample(g)
+		if s < time.Minute {
+			fast++
+		}
+		if s > time.Hour {
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("lognormal lacks spread: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(); err == nil {
+		t.Fatal("empty mixture accepted")
+	}
+	if _, err := NewMixture(Component{Weight: -1, Dist: Fixed(0)}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewMixture(Component{Weight: 1, Dist: nil}); err == nil {
+		t.Fatal("nil dist accepted")
+	}
+	if _, err := NewMixture(Component{Weight: 0, Dist: Fixed(0)}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+}
+
+func TestMixturePicksBothArms(t *testing.T) {
+	g := NewRNG(13)
+	m, err := NewMixture(
+		Component{Weight: 0.9, Dist: Fixed(time.Second)},
+		Component{Weight: 0.1, Dist: Fixed(time.Hour)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := 0, 0
+	for i := 0; i < 2000; i++ {
+		switch m.Sample(g) {
+		case time.Second:
+			fast++
+		case time.Hour:
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("mixture did not use both arms: fast=%d slow=%d", fast, slow)
+	}
+	ratio := float64(slow) / 2000
+	if ratio < 0.05 || ratio > 0.2 {
+		t.Fatalf("slow arm frequency %v, want ~0.1", ratio)
+	}
+}
+
+func TestAllDistsNonNegativeProperty(t *testing.T) {
+	g := NewRNG(99)
+	mix, _ := NewMixture(
+		Component{Weight: 1, Dist: Normal{Mean: -time.Second, Stddev: time.Second}},
+		Component{Weight: 1, Dist: Uniform{Min: -time.Second, Max: time.Second}},
+	)
+	dists := []Dist{
+		Fixed(-5 * time.Second),
+		Uniform{Min: -2 * time.Second, Max: time.Second},
+		Normal{Mean: 0, Stddev: 5 * time.Second},
+		Exponential{Mean: time.Second},
+		LogNormal{Mu: 0, Sigma: 3},
+		mix,
+	}
+	f := func(pick uint8) bool {
+		d := dists[int(pick)%len(dists)]
+		return d.Sample(g) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package dmode implements SIMBA delivery modes — the paper's
+// abstraction for personalized dependability levels. A delivery mode is
+// an XML document containing one or more communication blocks, each
+// holding one or more actions; every action names a user address by its
+// friendly name.
+//
+// Routing semantics (implemented by the delivery engine in
+// internal/core, specified here):
+//
+//   - Blocks are tried in document order. Later blocks are backups.
+//   - Within a block, all actions whose addresses are enabled are
+//     performed. Actions mapping to disabled addresses are skipped.
+//   - A block succeeds if at least one of its actions confirms
+//     delivery within the block's timeout (IM actions require the
+//     receiver's application-level acknowledgement; email and SMS
+//     actions are fire-and-forget and count as confirmed on accept).
+//   - If a block fails — all actions skipped, failed, or timed out —
+//     the engine falls back to the next block.
+package dmode
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+)
+
+// DefaultBlockTimeout applies when a block does not specify one.
+const DefaultBlockTimeout = 30 * time.Second
+
+// Duration is a time.Duration that XML-marshals as its string form
+// (e.g. timeout="30s").
+type Duration time.Duration
+
+var (
+	_ xml.MarshalerAttr   = Duration(0)
+	_ xml.UnmarshalerAttr = (*Duration)(nil)
+)
+
+// MarshalXMLAttr implements xml.MarshalerAttr.
+func (d Duration) MarshalXMLAttr(name xml.Name) (xml.Attr, error) {
+	if d == 0 {
+		return xml.Attr{}, nil // omit
+	}
+	return xml.Attr{Name: name, Value: time.Duration(d).String()}, nil
+}
+
+// UnmarshalXMLAttr implements xml.UnmarshalerAttr.
+func (d *Duration) UnmarshalXMLAttr(attr xml.Attr) error {
+	v, err := time.ParseDuration(attr.Value)
+	if err != nil {
+		return fmt.Errorf("dmode: bad duration attribute %q: %w", attr.Value, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Action names one address (by friendly name) to deliver through.
+type Action struct {
+	Address string `xml:"address,attr"`
+}
+
+// Block is one communication block: a set of actions tried together,
+// bounded by a confirmation timeout.
+type Block struct {
+	// Timeout bounds how long the engine waits for a confirmation from
+	// this block before falling back. Zero means DefaultBlockTimeout.
+	Timeout Duration `xml:"timeout,attr,omitempty"`
+	Actions []Action `xml:"action"`
+}
+
+// EffectiveTimeout returns the block timeout, applying the default.
+func (b *Block) EffectiveTimeout() time.Duration {
+	if b.Timeout == 0 {
+		return DefaultBlockTimeout
+	}
+	return time.Duration(b.Timeout)
+}
+
+// Mode is a named delivery mode document.
+type Mode struct {
+	XMLName xml.Name `xml:"deliveryMode"`
+	Name    string   `xml:"name,attr"`
+	Blocks  []Block  `xml:"block"`
+}
+
+// Validate reports whether the mode is well-formed: a name, at least
+// one block, and at least one action per block.
+func (m *Mode) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("dmode: delivery mode missing name")
+	}
+	if len(m.Blocks) == 0 {
+		return fmt.Errorf("dmode: delivery mode %q has no communication blocks", m.Name)
+	}
+	for i := range m.Blocks {
+		b := &m.Blocks[i]
+		if len(b.Actions) == 0 {
+			return fmt.Errorf("dmode: mode %q block %d has no actions", m.Name, i)
+		}
+		if time.Duration(b.Timeout) < 0 {
+			return fmt.Errorf("dmode: mode %q block %d has negative timeout", m.Name, i)
+		}
+		for j, a := range b.Actions {
+			if a.Address == "" {
+				return fmt.Errorf("dmode: mode %q block %d action %d missing address", m.Name, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// AddressNames returns every friendly name referenced by the mode, in
+// block order, without duplicates.
+func (m *Mode) AddressNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range m.Blocks {
+		for _, a := range m.Blocks[i].Actions {
+			if !seen[a.Address] {
+				seen[a.Address] = true
+				out = append(out, a.Address)
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Mode) Clone() *Mode {
+	c := Mode{Name: m.Name, Blocks: make([]Block, len(m.Blocks))}
+	for i := range m.Blocks {
+		c.Blocks[i] = Block{
+			Timeout: m.Blocks[i].Timeout,
+			Actions: append([]Action(nil), m.Blocks[i].Actions...),
+		}
+	}
+	return &c
+}
+
+// Marshal renders the mode as an XML document.
+func (m *Mode) Marshal() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return xml.MarshalIndent(m, "", "  ")
+}
+
+// Unmarshal parses and validates a delivery-mode document.
+func Unmarshal(data []byte) (*Mode, error) {
+	var m Mode
+	if err := xml.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dmode: parsing delivery mode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Figure4 returns the paper's Figure 4 sample: a delivery mode with two
+// communication blocks — an urgent IM+SMS block with a confirmation
+// timeout, backed by an email block.
+func Figure4() *Mode {
+	return &Mode{
+		Name: "Urgent",
+		Blocks: []Block{
+			{
+				Timeout: Duration(30 * time.Second),
+				Actions: []Action{{Address: "MSN IM"}, {Address: "Cell SMS"}},
+			},
+			{
+				Actions: []Action{{Address: "Work email"}, {Address: "Home email"}},
+			},
+		},
+	}
+}
+
+// IMThenEmail returns the delivery mode the paper's alert sources use
+// to reach MyAlertBuddy: "IM-with-acknowledgement followed by email".
+func IMThenEmail(imName, emailName string, imTimeout time.Duration) *Mode {
+	return &Mode{
+		Name: "IMThenEmail",
+		Blocks: []Block{
+			{Timeout: Duration(imTimeout), Actions: []Action{{Address: imName}}},
+			{Actions: []Action{{Address: emailName}}},
+		},
+	}
+}

@@ -1,0 +1,229 @@
+package dmode
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFigure4IsValid(t *testing.T) {
+	m := Figure4()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Figure4 invalid: %v", err)
+	}
+	if len(m.Blocks) != 2 {
+		t.Fatalf("Figure4 has %d blocks, want 2 (per the paper)", len(m.Blocks))
+	}
+	if got := m.Blocks[0].EffectiveTimeout(); got != 30*time.Second {
+		t.Fatalf("block 0 timeout = %v", got)
+	}
+	if got := m.Blocks[1].EffectiveTimeout(); got != DefaultBlockTimeout {
+		t.Fatalf("block 1 default timeout = %v", got)
+	}
+}
+
+func TestIMThenEmail(t *testing.T) {
+	m := IMThenEmail("buddy-im", "buddy-email", 10*time.Second)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blocks) != 2 ||
+		m.Blocks[0].Actions[0].Address != "buddy-im" ||
+		m.Blocks[1].Actions[0].Address != "buddy-email" {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Mode)
+		wantErr string
+	}{
+		{"valid", func(*Mode) {}, ""},
+		{"no name", func(m *Mode) { m.Name = "" }, "missing name"},
+		{"no blocks", func(m *Mode) { m.Blocks = nil }, "no communication blocks"},
+		{"empty block", func(m *Mode) { m.Blocks[0].Actions = nil }, "no actions"},
+		{"empty address", func(m *Mode) { m.Blocks[1].Actions[0].Address = "" }, "missing address"},
+		{"negative timeout", func(m *Mode) { m.Blocks[0].Timeout = Duration(-time.Second) }, "negative timeout"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := Figure4()
+			tt.mutate(m)
+			err := m.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want contains %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	m := Figure4()
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	text := string(data)
+	// The document format from Figure 4: blocks with actions naming
+	// friendly addresses, timeout attribute in duration syntax.
+	for _, want := range []string{`<deliveryMode name="Urgent">`, `timeout="30s"`, `<action address="MSN IM">`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("marshaled XML missing %q:\n%s", want, text)
+		}
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	assertSameMode(t, m, got)
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	for _, in := range []string{
+		"<deliveryMode",
+		`<deliveryMode name=""><block><action address="x"/></block></deliveryMode>`,
+		`<deliveryMode name="m"></deliveryMode>`,
+		`<deliveryMode name="m"><block/></deliveryMode>`,
+		`<deliveryMode name="m"><block timeout="fast"><action address="x"/></block></deliveryMode>`,
+	} {
+		if _, err := Unmarshal([]byte(in)); err == nil {
+			t.Fatalf("Unmarshal(%q) succeeded", in)
+		}
+	}
+}
+
+func TestDurationAttrOmittedWhenZero(t *testing.T) {
+	m := &Mode{Name: "m", Blocks: []Block{{Actions: []Action{{Address: "a"}}}}}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "timeout") {
+		t.Fatalf("zero timeout was marshaled: %s", data)
+	}
+}
+
+func TestDurationAttrParse(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalXMLAttr(xml.Attr{Value: "1m30s"}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 90*time.Second {
+		t.Fatalf("parsed %v", time.Duration(d))
+	}
+	if err := d.UnmarshalXMLAttr(xml.Attr{Value: "ninety"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+func TestAddressNames(t *testing.T) {
+	m := Figure4()
+	m.Blocks[1].Actions = append(m.Blocks[1].Actions, Action{Address: "MSN IM"}) // dup
+	got := m.AddressNames()
+	want := []string{"MSN IM", "Cell SMS", "Work email", "Home email"}
+	if len(got) != len(want) {
+		t.Fatalf("AddressNames() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AddressNames() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Figure4()
+	c := m.Clone()
+	c.Blocks[0].Actions[0].Address = "mutated"
+	if m.Blocks[0].Actions[0].Address == "mutated" {
+		t.Fatal("Clone shares action slice")
+	}
+}
+
+func TestXMLRoundTripProperty(t *testing.T) {
+	f := func(name string, blockSizes []uint8, timeoutSecs []uint16) bool {
+		if name == "" || len(blockSizes) == 0 {
+			return true
+		}
+		if len(blockSizes) > 8 {
+			blockSizes = blockSizes[:8]
+		}
+		m := &Mode{Name: sanitize(name)}
+		if m.Name == "" {
+			return true
+		}
+		for i, bs := range blockSizes {
+			n := int(bs%4) + 1
+			var timeout Duration
+			if i < len(timeoutSecs) {
+				timeout = Duration(time.Duration(timeoutSecs[i]) * time.Second)
+			}
+			b := Block{Timeout: timeout}
+			for j := 0; j < n; j++ {
+				b.Actions = append(b.Actions, Action{Address: "addr"})
+			}
+			m.Blocks = append(m.Blocks, b)
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.Name != m.Name || len(got.Blocks) != len(m.Blocks) {
+			return false
+		}
+		for i := range m.Blocks {
+			if got.Blocks[i].Timeout != m.Blocks[i].Timeout ||
+				len(got.Blocks[i].Actions) != len(m.Blocks[i].Actions) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func assertSameMode(t *testing.T, want, got *Mode) {
+	t.Helper()
+	if got.Name != want.Name || len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("mode mismatch: got %+v want %+v", got, want)
+	}
+	for i := range want.Blocks {
+		if got.Blocks[i].Timeout != want.Blocks[i].Timeout {
+			t.Fatalf("block %d timeout mismatch", i)
+		}
+		if len(got.Blocks[i].Actions) != len(want.Blocks[i].Actions) {
+			t.Fatalf("block %d action count mismatch", i)
+		}
+		for j := range want.Blocks[i].Actions {
+			if got.Blocks[i].Actions[j].Address != want.Blocks[i].Actions[j].Address {
+				t.Fatalf("block %d action %d mismatch", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package dmode_test
+
+import (
+	"fmt"
+
+	"simba/internal/dmode"
+)
+
+// The paper's Figure 4: a delivery mode with two communication blocks —
+// an urgent IM+SMS block bounded by a confirmation timeout, backed by
+// an email block.
+func ExampleFigure4() {
+	data, err := dmode.Figure4().Marshal()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(string(data))
+	// Output:
+	// <deliveryMode name="Urgent">
+	//   <block timeout="30s">
+	//     <action address="MSN IM"></action>
+	//     <action address="Cell SMS"></action>
+	//   </block>
+	//   <block>
+	//     <action address="Work email"></action>
+	//     <action address="Home email"></action>
+	//   </block>
+	// </deliveryMode>
+}
+
+// Delivery modes round-trip through their XML document form.
+func ExampleUnmarshal() {
+	doc := []byte(`<deliveryMode name="Travel">
+  <block timeout="1m0s"><action address="Hotel email"></action></block>
+</deliveryMode>`)
+	m, err := dmode.Unmarshal(doc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %d block(s), first timeout %s\n",
+		m.Name, len(m.Blocks), m.Blocks[0].EffectiveTimeout())
+	// Output:
+	// Travel: 1 block(s), first timeout 1m0s
+}

@@ -1,0 +1,240 @@
+// Package faults provides the fault-injection machinery used to
+// exercise SIMBA's fault-tolerance mechanisms: named on/off fault
+// flags, virtual-time fault schedules, and a journal of fault and
+// recovery actions equivalent to the instrumentation the paper used
+// for its one-month availability study.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"simba/internal/clock"
+)
+
+// Flag is a named fault condition that components consult, e.g.
+// "im-service-outage" or "proxy-unreachable". The zero value is an
+// inactive unnamed flag.
+type Flag struct {
+	mu     sync.Mutex
+	name   string
+	active bool
+	since  time.Time
+}
+
+// NewFlag returns an inactive flag with the given name.
+func NewFlag(name string) *Flag { return &Flag{name: name} }
+
+// Name returns the flag's name.
+func (f *Flag) Name() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.name
+}
+
+// Active reports whether the fault is currently injected.
+func (f *Flag) Active() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.active
+}
+
+// Set activates or deactivates the fault at the given (virtual) time.
+func (f *Flag) Set(active bool, now time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if active && !f.active {
+		f.since = now
+	}
+	f.active = active
+}
+
+// ActiveSince returns the activation time, or the zero time when the
+// flag is inactive.
+func (f *Flag) ActiveSince() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.active {
+		return time.Time{}
+	}
+	return f.since
+}
+
+// Schedule is a list of actions to run at fixed virtual-time offsets.
+// Build it declaratively, then Install it on a clock.
+type Schedule struct {
+	mu     sync.Mutex
+	events []scheduledEvent
+}
+
+type scheduledEvent struct {
+	after time.Duration
+	do    func()
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// At registers do to run after the given offset from Install time.
+// It returns the schedule for chaining.
+func (s *Schedule) At(after time.Duration, do func()) *Schedule {
+	if do == nil {
+		panic("faults: nil scheduled action")
+	}
+	s.mu.Lock()
+	s.events = append(s.events, scheduledEvent{after: after, do: do})
+	s.mu.Unlock()
+	return s
+}
+
+// Window activates flag at start and deactivates it at start+duration,
+// stamping transitions with the clock's time.
+func (s *Schedule) Window(c clock.Clock, flag *Flag, start, duration time.Duration) *Schedule {
+	s.At(start, func() { flag.Set(true, c.Now()) })
+	s.At(start+duration, func() { flag.Set(false, c.Now()) })
+	return s
+}
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Install arms every event on the clock. Events with equal offsets run
+// in registration order (guaranteed by the simulated clock's FIFO
+// tiebreak). Install returns the timers so callers can cancel them.
+func (s *Schedule) Install(c clock.Clock) []clock.Timer {
+	s.mu.Lock()
+	events := append([]scheduledEvent(nil), s.events...)
+	s.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].after < events[j].after })
+	timers := make([]clock.Timer, 0, len(events))
+	for _, ev := range events {
+		timers = append(timers, c.AfterFunc(ev.after, ev.do))
+	}
+	return timers
+}
+
+// Kind classifies journal entries. The categories mirror the recovery
+// actions the paper counts in Section 5.
+type Kind string
+
+// Journal entry kinds.
+const (
+	KindFaultInjected   Kind = "fault-injected"
+	KindFaultCleared    Kind = "fault-cleared"
+	KindRelogin         Kind = "relogin"          // simple re-logon fixed a logout
+	KindClientRestart   Kind = "client-restart"   // hung client killed and restarted
+	KindDialogDismissed Kind = "dialog-dismissed" // monkey thread clicked a dialog
+	KindDaemonRestart   Kind = "daemon-restart"   // MDC restarted MyAlertBuddy
+	KindMachineReboot   Kind = "machine-reboot"   // MDC escalated to a reboot
+	KindRejuvenation    Kind = "rejuvenation"     // scheduled or remote rejuvenation
+	KindReplay          Kind = "replay"           // pessimistic-log replay of an alert
+	KindUnrecovered     Kind = "unrecovered"      // failure the mechanisms could not fix
+)
+
+// Entry is one journaled fault or recovery action.
+type Entry struct {
+	At     time.Time
+	Kind   Kind
+	Detail string
+}
+
+// String renders the entry for human consumption.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s %-17s %s", e.At.Format("2006-01-02 15:04:05"), e.Kind, e.Detail)
+}
+
+// Journal is a concurrency-safe, append-only record of fault and
+// recovery events. The zero value is ready to use.
+type Journal struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// Record appends an entry.
+func (j *Journal) Record(at time.Time, kind Kind, detail string) {
+	j.mu.Lock()
+	j.entries = append(j.entries, Entry{At: at, Kind: kind, Detail: detail})
+	j.mu.Unlock()
+}
+
+// Recordf appends a formatted entry.
+func (j *Journal) Recordf(at time.Time, kind Kind, format string, args ...any) {
+	j.Record(at, kind, fmt.Sprintf(format, args...))
+}
+
+// Entries returns a copy of all entries in append order.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Entry(nil), j.entries...)
+}
+
+// Count returns the number of entries of the given kind.
+func (j *Journal) Count(kind Kind) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// CountMatching returns the number of entries of kind whose detail
+// contains substr.
+func (j *Journal) CountMatching(kind Kind, substr string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.Kind == kind && strings.Contains(e.Detail, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Downtimes pairs fault-injected/fault-cleared entries whose detail
+// contains substr and returns the durations of the resulting windows.
+// Unclosed windows are ignored.
+func (j *Journal) Downtimes(substr string) []time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []time.Duration
+	var openAt time.Time
+	open := false
+	for _, e := range j.entries {
+		if !strings.Contains(e.Detail, substr) {
+			continue
+		}
+		switch e.Kind {
+		case KindFaultInjected:
+			if !open {
+				openAt = e.At
+				open = true
+			}
+		case KindFaultCleared:
+			if open {
+				out = append(out, e.At.Sub(openAt))
+				open = false
+			}
+		}
+	}
+	return out
+}

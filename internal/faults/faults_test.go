@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"simba/internal/clock"
+	"simba/internal/dist"
+)
+
+func TestFlagLifecycle(t *testing.T) {
+	f := NewFlag("im-outage")
+	if f.Name() != "im-outage" {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+	if f.Active() {
+		t.Fatal("new flag active")
+	}
+	if !f.ActiveSince().IsZero() {
+		t.Fatal("inactive flag has ActiveSince")
+	}
+	at := time.Date(2001, 3, 26, 12, 0, 0, 0, time.UTC)
+	f.Set(true, at)
+	if !f.Active() || !f.ActiveSince().Equal(at) {
+		t.Fatalf("after Set: active=%v since=%v", f.Active(), f.ActiveSince())
+	}
+	// Re-activating must not move the activation time.
+	f.Set(true, at.Add(time.Hour))
+	if !f.ActiveSince().Equal(at) {
+		t.Fatal("re-activation moved ActiveSince")
+	}
+	f.Set(false, at.Add(2*time.Hour))
+	if f.Active() {
+		t.Fatal("flag still active after clear")
+	}
+}
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	var mu sync.Mutex
+	var got []string
+	s := NewSchedule().
+		At(3*time.Second, func() { mu.Lock(); got = append(got, "c"); mu.Unlock() }).
+		At(time.Second, func() { mu.Lock(); got = append(got, "a"); mu.Unlock() }).
+		At(2*time.Second, func() { mu.Lock(); got = append(got, "b"); mu.Unlock() })
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	s.Install(sim)
+	sim.Advance(5 * time.Second)
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 3 })
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestScheduleNilActionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSchedule().At(time.Second, nil)
+}
+
+func TestWindowTogglesFlag(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	f := NewFlag("outage")
+	NewSchedule().Window(sim, f, 10*time.Second, 30*time.Second).Install(sim)
+	sim.Advance(5 * time.Second)
+	if f.Active() {
+		t.Fatal("flag active before window")
+	}
+	sim.Advance(10 * time.Second) // t=15s, inside window
+	waitFor(t, f.Active)
+	sim.Advance(30 * time.Second) // t=45s, after window
+	waitFor(t, func() bool { return !f.Active() })
+}
+
+func TestJournalCounts(t *testing.T) {
+	var j Journal
+	base := time.Date(2001, 3, 26, 0, 0, 0, 0, time.UTC)
+	j.Record(base, KindRelogin, "im client logged out")
+	j.Recordf(base.Add(time.Minute), KindRelogin, "im client logged out again (%d)", 2)
+	j.Record(base.Add(2*time.Minute), KindClientRestart, "im client hung")
+	if j.Len() != 3 {
+		t.Fatalf("Len() = %d", j.Len())
+	}
+	if got := j.Count(KindRelogin); got != 2 {
+		t.Fatalf("Count(relogin) = %d", got)
+	}
+	if got := j.CountMatching(KindRelogin, "again"); got != 1 {
+		t.Fatalf("CountMatching = %d", got)
+	}
+	entries := j.Entries()
+	if len(entries) != 3 || entries[0].Kind != KindRelogin {
+		t.Fatalf("Entries() = %v", entries)
+	}
+	if s := entries[0].String(); s == "" {
+		t.Fatal("empty entry string")
+	}
+}
+
+func TestJournalDowntimes(t *testing.T) {
+	var j Journal
+	base := time.Date(2001, 3, 1, 0, 0, 0, 0, time.UTC)
+	j.Record(base, KindFaultInjected, "im-service outage")
+	j.Record(base.Add(4*time.Minute), KindFaultCleared, "im-service outage")
+	j.Record(base.Add(time.Hour), KindFaultInjected, "im-service outage")
+	j.Record(base.Add(time.Hour+103*time.Minute), KindFaultCleared, "im-service outage")
+	j.Record(base.Add(2*time.Hour), KindFaultInjected, "email outage") // different detail
+	j.Record(base.Add(3*time.Hour), KindFaultInjected, "im-service outage")
+	// last window never cleared
+	got := j.Downtimes("im-service")
+	if len(got) != 2 {
+		t.Fatalf("Downtimes = %v", got)
+	}
+	if got[0] != 4*time.Minute || got[1] != 103*time.Minute {
+		t.Fatalf("Downtimes = %v", got)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	var j Journal
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				j.Record(time.Time{}, KindReplay, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 800 {
+		t.Fatalf("Len() = %d", j.Len())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRandomEventsReproducibleAndSorted(t *testing.T) {
+	gen := func() []RandomEvent {
+		return RandomEvents(dist.NewRNG(7), 24*time.Hour, map[string]float64{
+			"crash": 10, "outage": 3, "zero": 0,
+		})
+	}
+	a, b := gen(), gen()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different timelines")
+		}
+		if a[i].At < 0 || a[i].At >= 24*time.Hour {
+			t.Fatalf("event outside horizon: %+v", a[i])
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatal("events not sorted")
+		}
+		if a[i].Kind == "zero" {
+			t.Fatal("zero-rate kind produced events")
+		}
+	}
+	// Expected counts are approximately honored across seeds.
+	total := 0
+	for seed := int64(0); seed < 20; seed++ {
+		total += len(RandomEvents(dist.NewRNG(seed), 24*time.Hour, map[string]float64{"crash": 10}))
+	}
+	mean := float64(total) / 20
+	if mean < 6 || mean > 14 {
+		t.Fatalf("mean event count %.1f, want ≈10", mean)
+	}
+}

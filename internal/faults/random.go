@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"sort"
+	"time"
+
+	"simba/internal/dist"
+)
+
+// RandomEvent is one generated fault occurrence.
+type RandomEvent struct {
+	At   time.Duration
+	Kind string
+}
+
+// RandomEvents draws a randomized fault timeline over the horizon:
+// for each kind, occurrences form a Poisson process whose expected
+// count over the whole horizon is the given rate. The result is
+// sorted by time. Deterministic for a given RNG state.
+func RandomEvents(rng *dist.RNG, horizon time.Duration, expectedCounts map[string]float64) []RandomEvent {
+	var out []RandomEvent
+	// Iterate kinds in sorted order so the RNG consumption order — and
+	// therefore the whole timeline — is reproducible.
+	kinds := make([]string, 0, len(expectedCounts))
+	for k := range expectedCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		rate := expectedCounts[kind]
+		if rate <= 0 {
+			continue
+		}
+		mean := time.Duration(float64(horizon) / rate)
+		t := time.Duration(0)
+		for {
+			t += time.Duration(rng.ExpFloat64() * float64(mean))
+			if t >= horizon {
+				break
+			}
+			out = append(out, RandomEvent{At: t, Kind: kind})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// AddRow appends a comparison line.
+func (r *Result) AddRow(metric, paper, measured, note string) {
+	r.Rows = append(r.Rows, Row{Metric: metric, Paper: paper, Measured: measured, Note: note})
+}
+
+// AddNote appends a free-form note.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	widths := []int{len("metric"), len("paper"), len("measured")}
+	for _, row := range r.Rows {
+		widths[0] = max(widths[0], len(row.Metric))
+		widths[1] = max(widths[1], len(row.Paper))
+		widths[2] = max(widths[2], len(row.Measured))
+	}
+	line := func(a, b2, c, d string) string {
+		out := fmt.Sprintf("  %-*s  %-*s  %-*s", widths[0], a, widths[1], b2, widths[2], c)
+		if d != "" {
+			out += "  " + d
+		}
+		return out + "\n"
+	}
+	b.WriteString(line("metric", "paper", "measured", ""))
+	b.WriteString(line(strings.Repeat("-", widths[0]), strings.Repeat("-", widths[1]), strings.Repeat("-", widths[2]), ""))
+	for _, row := range r.Rows {
+		b.WriteString(line(row.Metric, row.Paper, row.Measured, row.Note))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

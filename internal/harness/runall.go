@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+)
+
+// Sizes controls how much work each experiment does.
+type Sizes struct {
+	// E1Alerts, E2Changes, E3Presses, E4Moves, E6PerCell,
+	// A1Crashes, A2Dialogs size the respective experiments (zero picks
+	// each experiment's default).
+	E1Alerts, E2Changes, E3Presses, E4Moves, E6PerCell int
+	A1Crashes, A2Dialogs, A4PerCell                    int
+	// E5Days is the fault-study length in days (default 30).
+	E5Days int
+	// E7Users / E7Alerts size the throughput run.
+	E7Users, E7Alerts int
+	// SkipSlow drops E5, E6 and the ablations (quick mode).
+	SkipSlow bool
+}
+
+// QuickSizes runs everything at reduced scale (for tests).
+func QuickSizes() Sizes {
+	return Sizes{
+		E1Alerts: 10, E2Changes: 6, E3Presses: 5, E4Moves: 5,
+		E6PerCell: 20, A1Crashes: 4, A2Dialogs: 3, A4PerCell: 8,
+		E5Days: 2, E7Users: 500, E7Alerts: 5000,
+	}
+}
+
+// RunAll executes every experiment, streaming tables to w as they
+// finish, and returns the results.
+func RunAll(tempDir string, sizes Sizes, w io.Writer) ([]*Result, error) {
+	type job struct {
+		name string
+		run  func() (*Result, error)
+	}
+	jobs := []job{
+		{"E1", func() (*Result, error) { return E1IMDelivery(filepath.Join(tempDir, "e1"), sizes.E1Alerts) }},
+		{"E2", func() (*Result, error) { return E2ProxyRouting(filepath.Join(tempDir, "e2"), sizes.E2Changes) }},
+		{"E3", func() (*Result, error) { return E3Aladdin(filepath.Join(tempDir, "e3"), sizes.E3Presses) }},
+		{"E4", func() (*Result, error) { return E4WISH(filepath.Join(tempDir, "e4"), sizes.E4Moves) }},
+		{"E7", func() (*Result, error) { return E7PortalScale(sizes.E7Users, sizes.E7Alerts) }},
+	}
+	if !sizes.SkipSlow {
+		jobs = append(jobs,
+			job{"E5", func() (*Result, error) { return E5FaultMonth(filepath.Join(tempDir, "e5"), sizes.E5Days) }},
+			job{"E6", func() (*Result, error) { return E6Baseline(filepath.Join(tempDir, "e6"), sizes.E6PerCell) }},
+			job{"A1", func() (*Result, error) { return AblationNoPlog(filepath.Join(tempDir, "a1"), sizes.A1Crashes) }},
+			job{"A2", func() (*Result, error) { return AblationNoMonkey(filepath.Join(tempDir, "a2"), sizes.A2Dialogs) }},
+			job{"A3", func() (*Result, error) { return AblationProbePeriod(filepath.Join(tempDir, "a3"), nil) }},
+			job{"A4", func() (*Result, error) { return A4AckTimeoutSweep(filepath.Join(tempDir, "a4"), sizes.A4PerCell, nil) }},
+		)
+	}
+	var out []*Result
+	for _, j := range jobs {
+		start := time.Now()
+		res, err := j.run()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", j.name, err)
+		}
+		out = append(out, res)
+		if w != nil {
+			fmt.Fprintf(w, "%s(completed in %s wall time)\n\n", res.Table(), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return out, nil
+}

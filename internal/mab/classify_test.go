@@ -1,0 +1,212 @@
+package mab
+
+import (
+	"testing"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/email"
+)
+
+func TestClassifierAcceptAndReject(t *testing.T) {
+	c := NewClassifier()
+	a := &alert.Alert{Source: "yahoo.sim", Keywords: []string{"Stocks"}}
+	if _, accepted := c.Classify(a, ""); accepted {
+		t.Fatal("empty classifier accepted an alert")
+	}
+	c.Accept(SourceRule{Source: "yahoo.sim", Extract: ExtractNative})
+	kws, accepted := c.Classify(a, "")
+	if !accepted || len(kws) != 1 || kws[0] != "Stocks" {
+		t.Fatalf("Classify = %v, %v", kws, accepted)
+	}
+	c.Remove("yahoo.sim")
+	if _, accepted := c.Classify(a, ""); accepted {
+		t.Fatal("removed source still accepted")
+	}
+}
+
+func TestClassifierExtractSender(t *testing.T) {
+	c := NewClassifier()
+	c.Accept(SourceRule{Source: "yahoo.sim", Extract: ExtractSender})
+	a := &alert.Alert{Source: "yahoo.sim", Subject: "ignored"}
+	kws, accepted := c.Classify(a, "stocks.earnings-reports@yahoo.sim")
+	if !accepted {
+		t.Fatal("not accepted")
+	}
+	want := []string{"stocks", "earnings", "reports"}
+	if len(kws) != len(want) {
+		t.Fatalf("keywords = %v", kws)
+	}
+	for i := range want {
+		if kws[i] != want[i] {
+			t.Fatalf("keywords = %v, want %v", kws, want)
+		}
+	}
+	if kws, _ := c.Classify(a, ""); len(kws) != 0 {
+		t.Fatalf("keywords from empty sender = %v", kws)
+	}
+}
+
+func TestClassifierExtractSubject(t *testing.T) {
+	c := NewClassifier()
+	c.Accept(SourceRule{Source: "msn-mobile", Extract: ExtractSubject})
+	a := &alert.Alert{Source: "msn-mobile", Subject: "Stocks: MSFT up 3%"}
+	kws, _ := c.Classify(a, "")
+	if len(kws) != 1 || kws[0] != "Stocks" {
+		t.Fatalf("keywords = %v", kws)
+	}
+	a.Subject = "no colon here"
+	if kws, _ := c.Classify(a, ""); len(kws) != 0 {
+		t.Fatalf("keywords = %v", kws)
+	}
+}
+
+func TestClassifierDefaultExtract(t *testing.T) {
+	c := NewClassifier()
+	c.Accept(SourceRule{Source: "s"}) // Extract unset → native
+	a := &alert.Alert{Source: "s", Keywords: []string{"k"}}
+	kws, _ := c.Classify(a, "")
+	if len(kws) != 1 || kws[0] != "k" {
+		t.Fatalf("keywords = %v", kws)
+	}
+	// Returned slice must not alias the alert.
+	kws[0] = "mutated"
+	if a.Keywords[0] != "k" {
+		t.Fatal("Classify aliased alert keywords")
+	}
+	if got := c.Sources(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("Sources = %v", got)
+	}
+}
+
+func TestAlertFromEmailWirePayload(t *testing.T) {
+	orig := &alert.Alert{
+		ID: "x-1", Source: "aladdin", Keywords: []string{"Sensor ON"},
+		Subject: "Basement Water Sensor ON", Urgency: alert.UrgencyCritical,
+		Created: time.Date(2001, 3, 26, 10, 0, 0, 0, time.UTC),
+	}
+	payload, err := orig.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := email.Message{From: "gw@home.sim", Subject: "fallback", Body: string(payload)}
+	got := AlertFromEmail(msg)
+	if got.ID != "x-1" || got.Source != "aladdin" || got.Urgency != alert.UrgencyCritical {
+		t.Fatalf("AlertFromEmail = %+v", got)
+	}
+}
+
+func TestAlertFromEmailLegacy(t *testing.T) {
+	sub := time.Date(2001, 3, 26, 10, 0, 0, 0, time.UTC)
+	msg := email.Message{
+		From: "stocks@yahoo.sim", Subject: "MSFT moved", Body: "plain text",
+		SubmittedAt: sub,
+	}
+	got := AlertFromEmail(msg)
+	if got.Source != "yahoo.sim" || got.Subject != "MSFT moved" || !got.Created.Equal(sub) {
+		t.Fatalf("AlertFromEmail = %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("legacy alert invalid: %v", err)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	g := NewAggregator()
+	if got := g.Aggregate([]string{"anything"}); got != DefaultCategory {
+		t.Fatalf("Aggregate = %q", got)
+	}
+	g.Map("Stocks", "Investment")
+	g.Map("financial news", "Investment")
+	g.Map("Earnings reports", "Investment")
+	for _, kws := range [][]string{
+		{"Stocks"},
+		{"STOCKS"},
+		{"Financial News"},
+		{"junk", "earnings reports"},
+	} {
+		if got := g.Aggregate(kws); got != "Investment" {
+			t.Fatalf("Aggregate(%v) = %q", kws, got)
+		}
+	}
+	g.SetFallback("Misc")
+	if got := g.Aggregate(nil); got != "Misc" {
+		t.Fatalf("fallback = %q", got)
+	}
+	// First mapped keyword wins.
+	g.Map("weather", "Weather")
+	if got := g.Aggregate([]string{"weather", "stocks"}); got != "Weather" {
+		t.Fatalf("Aggregate = %q", got)
+	}
+}
+
+func TestFilterEnableDisable(t *testing.T) {
+	f := NewFilter()
+	now := time.Date(2001, 3, 26, 12, 0, 0, 0, time.UTC)
+	if !f.Allow("Investment", now) {
+		t.Fatal("fresh filter blocks")
+	}
+	f.SetEnabled("Investment", false)
+	if f.Allow("Investment", now) {
+		t.Fatal("disabled category allowed")
+	}
+	if !f.Allow("Other", now) {
+		t.Fatal("unrelated category blocked")
+	}
+	f.SetEnabled("Investment", true)
+	if !f.Allow("Investment", now) {
+		t.Fatal("re-enabled category blocked")
+	}
+}
+
+func TestFilterQuietHours(t *testing.T) {
+	f := NewFilter()
+	day := time.Date(2001, 3, 26, 0, 0, 0, 0, time.UTC)
+	// Quiet 22:00–07:00 (wraps midnight).
+	f.SetQuietHours("News", 22*time.Hour, 7*time.Hour)
+	tests := []struct {
+		hour  int
+		allow bool
+	}{
+		{23, false}, {2, false}, {6, false},
+		{7, true}, {12, true}, {21, true},
+	}
+	for _, tt := range tests {
+		at := day.Add(time.Duration(tt.hour) * time.Hour)
+		if got := f.Allow("News", at); got != tt.allow {
+			t.Fatalf("Allow at %02d:00 = %v, want %v", tt.hour, got, tt.allow)
+		}
+	}
+	// Non-wrapping window 09:00–17:00.
+	f.SetQuietHours("Work", 9*time.Hour, 17*time.Hour)
+	if f.Allow("Work", day.Add(12*time.Hour)) {
+		t.Fatal("allowed inside quiet window")
+	}
+	if !f.Allow("Work", day.Add(8*time.Hour)) || !f.Allow("Work", day.Add(18*time.Hour)) {
+		t.Fatal("blocked outside quiet window")
+	}
+	// Equal offsets clear.
+	f.SetQuietHours("Work", time.Hour, time.Hour)
+	if !f.Allow("Work", day.Add(12*time.Hour)) {
+		t.Fatal("cleared window still blocks")
+	}
+}
+
+func TestClassifierRulesInventory(t *testing.T) {
+	c := NewClassifier()
+	c.Accept(SourceRule{Source: "zeta", UnsubscribeHint: "email stop@zeta.sim"})
+	c.Accept(SourceRule{Source: "alpha", UnsubscribeHint: "visit alpha.sim/unsubscribe"})
+	rules := c.Rules()
+	if len(rules) != 2 || rules[0].Source != "alpha" || rules[1].Source != "zeta" {
+		t.Fatalf("Rules = %+v", rules)
+	}
+	if rules[0].UnsubscribeHint != "visit alpha.sim/unsubscribe" {
+		t.Fatalf("hint = %q", rules[0].UnsubscribeHint)
+	}
+	// Updating a rule replaces it.
+	c.Accept(SourceRule{Source: "alpha", Extract: ExtractSubject})
+	rules = c.Rules()
+	if len(rules) != 2 || rules[0].Extract != ExtractSubject {
+		t.Fatalf("Rules after update = %+v", rules)
+	}
+}

@@ -1,0 +1,178 @@
+// Package metrics provides the measurement plumbing used by the SIMBA
+// experiment harness: latency recorders with percentile summaries and
+// named counters for recovery/fault accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates duration samples. The zero value is ready to use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe adds one sample.
+func (r *Recorder) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Snapshot returns a copy of the samples.
+func (r *Recorder) Snapshot() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.samples...)
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Summary is a statistical digest of a Recorder.
+type Summary struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	Stddev         time.Duration
+	P50, P90, P99  time.Duration
+}
+
+// Summarize computes the digest. An empty recorder yields a zero Summary.
+func (r *Recorder) Summarize() Summary {
+	samples := r.Snapshot()
+	return summarize(samples)
+}
+
+func summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sorted))
+	var varSum float64
+	for _, s := range sorted {
+		d := float64(s) - mean
+		varSum += d * d
+	}
+	return Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   time.Duration(mean),
+		Stddev: time.Duration(math.Sqrt(varSum / float64(len(sorted)))),
+		P50:    percentile(sorted, 0.50),
+		P90:    percentile(sorted, 0.90),
+		P99:    percentile(sorted, 0.99),
+	}
+}
+
+// percentile returns the p-quantile (0 <= p <= 1) of sorted samples
+// using nearest-rank interpolation.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v min=%v max=%v",
+		s.Count, round(s.Mean), round(s.P50), round(s.P90), round(s.P99), round(s.Min), round(s.Max))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+// CounterSet is a set of named monotonically increasing counters. The
+// zero value is ready to use.
+type CounterSet struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// Inc adds delta (which may be negative in tests but typically 1).
+func (c *CounterSet) Inc(name string, delta int64) {
+	c.mu.Lock()
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += delta
+	c.mu.Unlock()
+}
+
+// Add1 increments name by one.
+func (c *CounterSet) Add1(name string) { c.Inc(name, 1) }
+
+// Get returns the current value of name (zero if never incremented).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders counters sorted by name.
+func (c *CounterSet) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}

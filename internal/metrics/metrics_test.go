@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderEmptySummary(t *testing.T) {
+	var r Recorder
+	s := r.Summarize()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if got := s.String(); got != "no samples" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRecorderBasicStats(t *testing.T) {
+	var r Recorder
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		r.Observe(d)
+	}
+	s := r.Summarize()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != time.Second || s.Max != 3*time.Second {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 2*time.Second {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 2*time.Second {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	var r Recorder
+	r.Observe(time.Second)
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatal("Reset did not clear samples")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 1600 {
+		t.Fatalf("Count = %d, want 1600", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []time.Duration{0, 10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 0}, {1, 40}, {-0.5, 0}, {1.5, 40},
+		{0.5, 20},
+		{0.25, 10},
+		{0.875, 35},
+	}
+	for _, tt := range tests {
+		if got := percentile(sorted, tt.p); got != tt.want {
+			t.Fatalf("percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("percentile(nil) = %v", got)
+	}
+}
+
+func TestSummaryPropertyBounds(t *testing.T) {
+	// Property: min <= p50 <= p90 <= p99 <= max, and min <= mean <= max.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, v := range raw {
+			d := time.Duration(int64(v)+40000) * time.Millisecond // keep positive
+			r.Observe(d)
+		}
+		s := r.Summarize()
+		ordered := []time.Duration{s.Min, s.P50, s.P90, s.P99, s.Max}
+		if !sort.SliceIsSorted(ordered, func(i, j int) bool { return ordered[i] < ordered[j] }) {
+			return false
+		}
+		return s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	var c CounterSet
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %d", got)
+	}
+	c.Add1("restarts")
+	c.Inc("restarts", 2)
+	c.Add1("relogins")
+	if got := c.Get("restarts"); got != 3 {
+		t.Fatalf("restarts = %d, want 3", got)
+	}
+	snap := c.Snapshot()
+	snap["restarts"] = 99
+	if c.Get("restarts") != 3 {
+		t.Fatal("Snapshot aliases internal map")
+	}
+	if got := c.String(); got != "relogins=1 restarts=3" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	var c CounterSet
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				c.Add1("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 2000 {
+		t.Fatalf("n = %d, want 2000", got)
+	}
+}

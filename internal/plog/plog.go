@@ -1,0 +1,259 @@
+// Package plog implements the pessimistic logging MyAlertBuddy uses to
+// avoid losing alerts across crashes. Per the paper: upon receiving an
+// IM alert, the buddy saves a copy to a log file *before* sending the
+// acknowledgement (the sender will not resend once acked); after
+// processing, the entry is marked "Processed"; on every restart the
+// log is scanned for unprocessed entries, which are replayed before
+// new alerts are accepted. Duplicate deliveries that arise when the
+// buddy fails between routing and marking are detected downstream via
+// alert timestamps.
+//
+// The on-disk format is a line-oriented append-only journal:
+//
+//	RECV <unix-nanos> <key-base64> <payload-base64>
+//	DONE <unix-nanos> <key-base64>
+//
+// Every append is fsynced — that is what makes the logging pessimistic
+// — and a torn final line (crash mid-write) is tolerated on recovery.
+package plog
+
+import (
+	"bufio"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log errors.
+var (
+	// ErrUnknownKey indicates MarkProcessed was called for a key that
+	// was never logged.
+	ErrUnknownKey = errors.New("plog: unknown key")
+	// ErrClosed indicates use after Close.
+	ErrClosed = errors.New("plog: log closed")
+)
+
+// Record is one logged alert.
+type Record struct {
+	Key        string
+	Payload    []byte
+	ReceivedAt time.Time
+	Processed  bool
+}
+
+// Log is a pessimistic write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	closed bool
+	// index maps key → position in order; order preserves arrival.
+	index map[string]int
+	order []Record
+}
+
+// Open opens (creating if needed) the log at path and rebuilds its
+// in-memory state from the journal.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plog: opening %s: %w", path, err)
+	}
+	l := &Log{path: path, f: f, index: make(map[string]int)}
+	if err := l.replayJournal(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// replayJournal scans the journal. A torn final line — a crash during
+// an append — is truncated away so subsequent appends start on a clean
+// line boundary.
+func (l *Log) replayJournal() error {
+	r := bufio.NewReader(l.f)
+	var goodBytes int64
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			// No trailing newline: torn tail. Leave goodBytes where it is.
+			break
+		}
+		goodBytes += int64(len(line))
+		line = strings.TrimSuffix(line, "\n")
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, " ")
+		switch fields[0] {
+		case "RECV":
+			if len(fields) != 4 {
+				continue // torn or corrupt line: skip
+			}
+			nanos, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			key, err := base64.StdEncoding.DecodeString(fields[2])
+			if err != nil {
+				continue
+			}
+			payload, err := base64.StdEncoding.DecodeString(fields[3])
+			if err != nil {
+				continue
+			}
+			l.addReceivedLocked(string(key), payload, time.Unix(0, nanos).UTC())
+		case "DONE":
+			if len(fields) != 3 {
+				continue
+			}
+			key, err := base64.StdEncoding.DecodeString(fields[2])
+			if err != nil {
+				continue
+			}
+			if i, ok := l.index[string(key)]; ok {
+				l.order[i].Processed = true
+			}
+		default:
+			// Unknown record type: skip (forward compatibility).
+		}
+	}
+	if err := l.f.Truncate(goodBytes); err != nil {
+		return fmt.Errorf("plog: truncating torn tail of %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(goodBytes, 0); err != nil {
+		return fmt.Errorf("plog: seeking %s: %w", l.path, err)
+	}
+	return nil
+}
+
+func (l *Log) addReceivedLocked(key string, payload []byte, at time.Time) {
+	if _, ok := l.index[key]; ok {
+		return // duplicate RECV: first wins
+	}
+	l.index[key] = len(l.order)
+	l.order = append(l.order, Record{
+		Key:        key,
+		Payload:    append([]byte(nil), payload...),
+		ReceivedAt: at,
+	})
+}
+
+// LogReceived durably records an incoming alert before it is
+// acknowledged. Logging the same key twice is a no-op (idempotent), so
+// replay after a crash-during-ack is safe.
+func (l *Log) LogReceived(key string, payload []byte, at time.Time) error {
+	if key == "" {
+		return errors.New("plog: empty key")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, ok := l.index[key]; ok {
+		return nil
+	}
+	line := fmt.Sprintf("RECV %d %s %s\n",
+		at.UnixNano(),
+		base64.StdEncoding.EncodeToString([]byte(key)),
+		base64.StdEncoding.EncodeToString(payload))
+	if err := l.append(line); err != nil {
+		return err
+	}
+	l.addReceivedLocked(key, payload, at)
+	return nil
+}
+
+// MarkProcessed durably records that the alert has been fully routed.
+func (l *Log) MarkProcessed(key string, at time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	i, ok := l.index[key]
+	if !ok {
+		return fmt.Errorf("plog: mark processed %q: %w", key, ErrUnknownKey)
+	}
+	if l.order[i].Processed {
+		return nil
+	}
+	line := fmt.Sprintf("DONE %d %s\n",
+		at.UnixNano(),
+		base64.StdEncoding.EncodeToString([]byte(key)))
+	if err := l.append(line); err != nil {
+		return err
+	}
+	l.order[i].Processed = true
+	return nil
+}
+
+// append writes and fsyncs one journal line. The caller holds l.mu.
+func (l *Log) append(line string) error {
+	if _, err := l.f.WriteString(line); err != nil {
+		return fmt.Errorf("plog: appending to %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("plog: syncing %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Has reports whether key has been logged.
+func (l *Log) Has(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.index[key]
+	return ok
+}
+
+// IsProcessed reports whether key has been marked processed.
+func (l *Log) IsProcessed(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i, ok := l.index[key]
+	return ok && l.order[i].Processed
+}
+
+// Unprocessed returns the records received but not yet processed, in
+// arrival order — the restart replay set.
+func (l *Log) Unprocessed() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.order {
+		if !r.Processed {
+			cp := r
+			cp.Payload = append([]byte(nil), r.Payload...)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// Len returns the total number of logged alerts.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order)
+}
+
+// Path returns the journal file path.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the file handle. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}

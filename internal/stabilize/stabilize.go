@@ -1,0 +1,240 @@
+// Package stabilize implements MyAlertBuddy's self-stabilization: a
+// registry of invariant checks, each run on its own period, that
+// detect and correct violations instead of trying to anticipate every
+// failure. Checks are expected to heal in place when they can (e.g.
+// re-login, drain unprocessed messages, dismiss dialogs); a check that
+// keeps failing is escalated so the owner can rejuvenate (gracefully
+// terminate and let the MDC restart it).
+//
+// The paper's periods: the AreYouWorking callback every 3 minutes,
+// communication-client sanity checks every minute, unprocessed dialog
+// boxes every 20 seconds.
+package stabilize
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"simba/internal/clock"
+	"simba/internal/faults"
+)
+
+// Paper-derived default periods.
+const (
+	DefaultSanityPeriod = time.Minute
+	DefaultDialogPeriod = 20 * time.Second
+	// DefaultEscalateAfter is how many consecutive failures of one
+	// check trigger escalation.
+	DefaultEscalateAfter = 3
+)
+
+// Check is one registered invariant.
+type Check struct {
+	// Name identifies the check in journals and counters.
+	Name string
+	// Period is how often the check runs.
+	Period time.Duration
+	// Fn verifies the invariant, healing in place where possible. A
+	// nil return means the invariant holds (or was restored).
+	Fn func() error
+	// EscalateAfter overrides DefaultEscalateAfter for this check; 0
+	// means the default, negative means never escalate.
+	EscalateAfter int
+}
+
+// Stabilizer runs the registered checks. Create with New; register
+// checks before Start.
+type Stabilizer struct {
+	clk      clock.Clock
+	journal  *faults.Journal
+	escalate func(check string, err error)
+
+	mu      sync.Mutex
+	checks  []Check
+	fails   map[string]int
+	counts  map[string]int64 // executions per check
+	heals   map[string]int64 // failures observed (then healed or not)
+	stop    chan struct{}
+	started bool
+}
+
+// New builds a stabilizer. escalate is called (at most once per
+// failure streak) when a check fails EscalateAfter times in a row; it
+// may be nil. journal may be nil.
+func New(clk clock.Clock, journal *faults.Journal, escalate func(check string, err error)) (*Stabilizer, error) {
+	if clk == nil {
+		return nil, errors.New("stabilize: clock is required")
+	}
+	return &Stabilizer{
+		clk:      clk,
+		journal:  journal,
+		escalate: escalate,
+		fails:    make(map[string]int),
+		counts:   make(map[string]int64),
+		heals:    make(map[string]int64),
+	}, nil
+}
+
+// Register adds a check. It must be called before Start.
+func (s *Stabilizer) Register(c Check) error {
+	if c.Name == "" || c.Fn == nil {
+		return errors.New("stabilize: check requires Name and Fn")
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("stabilize: check %q has non-positive period", c.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("stabilize: cannot register after Start")
+	}
+	for _, existing := range s.checks {
+		if existing.Name == c.Name {
+			return fmt.Errorf("stabilize: duplicate check %q", c.Name)
+		}
+	}
+	s.checks = append(s.checks, c)
+	return nil
+}
+
+// Start launches one goroutine per check.
+func (s *Stabilizer) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	stop := make(chan struct{})
+	s.stop = stop
+	checks := append([]Check(nil), s.checks...)
+	s.mu.Unlock()
+	for _, c := range checks {
+		go s.runCheck(c, stop)
+	}
+}
+
+// Stop halts all checks.
+func (s *Stabilizer) Stop() {
+	s.mu.Lock()
+	if s.started && s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+		s.started = false
+	}
+	s.mu.Unlock()
+}
+
+// RunOnce executes the named check immediately (for tests and for
+// forced stabilization after a replay). It returns the check's error.
+func (s *Stabilizer) RunOnce(name string) error {
+	s.mu.Lock()
+	var found *Check
+	for i := range s.checks {
+		if s.checks[i].Name == name {
+			found = &s.checks[i]
+			break
+		}
+	}
+	s.mu.Unlock()
+	if found == nil {
+		return fmt.Errorf("stabilize: no check named %q", name)
+	}
+	return s.execute(*found)
+}
+
+// Executions returns how many times the named check has run.
+func (s *Stabilizer) Executions(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[name]
+}
+
+// Failures returns how many failures the named check has observed.
+func (s *Stabilizer) Failures(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heals[name]
+}
+
+func (s *Stabilizer) runCheck(c Check, stop chan struct{}) {
+	ticker := s.clk.NewTicker(c.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C():
+			_ = s.execute(c)
+		}
+	}
+}
+
+func (s *Stabilizer) execute(c Check) error {
+	err := c.Fn()
+	s.mu.Lock()
+	s.counts[c.Name]++
+	threshold := c.EscalateAfter
+	if threshold == 0 {
+		threshold = DefaultEscalateAfter
+	}
+	var escalateNow bool
+	if err != nil {
+		s.heals[c.Name]++
+		s.fails[c.Name]++
+		if threshold > 0 && s.fails[c.Name] == threshold {
+			escalateNow = true
+		}
+	} else {
+		s.fails[c.Name] = 0
+	}
+	escalate := s.escalate
+	s.mu.Unlock()
+	if err != nil && s.journal != nil {
+		s.journal.Recordf(s.clk.Now(), faults.KindFaultInjected, "invariant %q violated: %v", c.Name, err)
+	}
+	if escalateNow && escalate != nil {
+		if s.journal != nil {
+			s.journal.Recordf(s.clk.Now(), faults.KindRejuvenation,
+				"check %q failed %d consecutive times; escalating", c.Name, threshold)
+		}
+		escalate(c.Name, err)
+	}
+	return err
+}
+
+// Progress tracks a heartbeat timestamp for liveness checks — the
+// paper's "monitoring the timestamps of their progress". The zero
+// value is ready to use but reports no progress until the first Beat.
+type Progress struct {
+	mu   sync.Mutex
+	last time.Time
+}
+
+// Beat records progress at now.
+func (p *Progress) Beat(now time.Time) {
+	p.mu.Lock()
+	if now.After(p.last) {
+		p.last = now
+	}
+	p.mu.Unlock()
+}
+
+// Last returns the most recent beat (zero if none).
+func (p *Progress) Last() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
+
+// StaleBy reports whether the last beat is older than maxAge at now.
+// A Progress with no beats yet is considered stale.
+func (p *Progress) StaleBy(now time.Time, maxAge time.Duration) bool {
+	last := p.Last()
+	if last.IsZero() {
+		return true
+	}
+	return now.Sub(last) > maxAge
+}

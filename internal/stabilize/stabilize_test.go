@@ -1,0 +1,204 @@
+package stabilize
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simba/internal/clock"
+	"simba/internal/faults"
+)
+
+func TestNewRequiresClock(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, err := New(sim, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Check{Name: "x", Period: time.Second, Fn: func() error { return nil }}
+	if err := s.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ok); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := s.Register(Check{Period: time.Second, Fn: func() error { return nil }}); err == nil {
+		t.Fatal("unnamed check accepted")
+	}
+	if err := s.Register(Check{Name: "y", Period: time.Second}); err == nil {
+		t.Fatal("fn-less check accepted")
+	}
+	if err := s.Register(Check{Name: "z", Fn: func() error { return nil }}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	s.Start()
+	defer s.Stop()
+	if err := s.Register(Check{Name: "late", Period: time.Second, Fn: func() error { return nil }}); err == nil {
+		t.Fatal("post-start registration accepted")
+	}
+}
+
+func TestChecksRunOnTheirPeriods(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, _ := New(sim, nil, nil)
+	var fast, slow atomic.Int64
+	mustRegister(t, s, Check{Name: "fast", Period: 20 * time.Second, Fn: func() error { fast.Add(1); return nil }})
+	mustRegister(t, s, Check{Name: "slow", Period: time.Minute, Fn: func() error { slow.Add(1); return nil }})
+	s.Start()
+	defer s.Stop()
+	for i := 0; i < 30; i++ {
+		sim.Advance(10 * time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	// 300s window: fast ~15 runs, slow ~5 runs (ticks may coalesce
+	// slightly under scheduling jitter).
+	if f := fast.Load(); f < 10 || f > 16 {
+		t.Fatalf("fast ran %d times", f)
+	}
+	if sl := slow.Load(); sl < 3 || sl > 6 {
+		t.Fatalf("slow ran %d times", sl)
+	}
+	if s.Executions("fast") != fast.Load() {
+		t.Fatal("Executions counter mismatch")
+	}
+}
+
+func TestFailuresJournaledAndCounted(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	j := &faults.Journal{}
+	s, _ := New(sim, j, nil)
+	boom := errors.New("boom")
+	var healed atomic.Bool
+	mustRegister(t, s, Check{Name: "c", Period: time.Second, Fn: func() error {
+		if healed.Load() {
+			return nil
+		}
+		return boom
+	}, EscalateAfter: -1})
+	if err := s.RunOnce("c"); !errors.Is(err, boom) {
+		t.Fatalf("RunOnce = %v", err)
+	}
+	if s.Failures("c") != 1 {
+		t.Fatalf("Failures = %d", s.Failures("c"))
+	}
+	if j.Len() != 1 {
+		t.Fatal("violation not journaled")
+	}
+	healed.Store(true)
+	if err := s.RunOnce("c"); err != nil {
+		t.Fatalf("RunOnce after heal = %v", err)
+	}
+}
+
+func TestEscalationAfterConsecutiveFailures(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	j := &faults.Journal{}
+	var mu sync.Mutex
+	var escalated []string
+	s, _ := New(sim, j, func(name string, err error) {
+		mu.Lock()
+		escalated = append(escalated, name)
+		mu.Unlock()
+	})
+	fail := atomic.Bool{}
+	fail.Store(true)
+	mustRegister(t, s, Check{Name: "flaky", Period: time.Second, Fn: func() error {
+		if fail.Load() {
+			return errors.New("nope")
+		}
+		return nil
+	}})
+	// Two failures: below the default threshold of 3.
+	_ = s.RunOnce("flaky")
+	_ = s.RunOnce("flaky")
+	mu.Lock()
+	n := len(escalated)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatal("escalated too early")
+	}
+	// Third consecutive failure escalates, exactly once.
+	_ = s.RunOnce("flaky")
+	_ = s.RunOnce("flaky")
+	mu.Lock()
+	if len(escalated) != 1 || escalated[0] != "flaky" {
+		t.Fatalf("escalated = %v", escalated)
+	}
+	mu.Unlock()
+	if j.Count(faults.KindRejuvenation) != 1 {
+		t.Fatal("escalation not journaled")
+	}
+	// Success resets the streak; three more failures escalate again.
+	fail.Store(false)
+	_ = s.RunOnce("flaky")
+	fail.Store(true)
+	_ = s.RunOnce("flaky")
+	_ = s.RunOnce("flaky")
+	_ = s.RunOnce("flaky")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(escalated) != 2 {
+		t.Fatalf("escalated %d times, want 2", len(escalated))
+	}
+}
+
+func TestRunOnceUnknown(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, _ := New(sim, nil, nil)
+	if err := s.RunOnce("ghost"); err == nil {
+		t.Fatal("unknown check accepted")
+	}
+}
+
+func TestStopHaltsChecks(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, _ := New(sim, nil, nil)
+	var runs atomic.Int64
+	mustRegister(t, s, Check{Name: "c", Period: time.Second, Fn: func() error { runs.Add(1); return nil }})
+	s.Start()
+	sim.Advance(5 * time.Second)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	before := runs.Load()
+	sim.Advance(time.Minute)
+	time.Sleep(5 * time.Millisecond)
+	if runs.Load() != before {
+		t.Fatal("check ran after Stop")
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var p Progress
+	now := time.Date(2001, 3, 26, 12, 0, 0, 0, time.UTC)
+	if !p.StaleBy(now, time.Minute) {
+		t.Fatal("fresh Progress should be stale")
+	}
+	p.Beat(now)
+	if p.StaleBy(now.Add(30*time.Second), time.Minute) {
+		t.Fatal("stale too early")
+	}
+	if !p.StaleBy(now.Add(2*time.Minute), time.Minute) {
+		t.Fatal("not stale after maxAge")
+	}
+	// Beats never move backwards.
+	p.Beat(now.Add(-time.Hour))
+	if !p.Last().Equal(now) {
+		t.Fatalf("Last() = %v", p.Last())
+	}
+}
+
+func mustRegister(t *testing.T, s *Stabilizer, c Check) {
+	t.Helper()
+	if err := s.Register(c); err != nil {
+		t.Fatal(err)
+	}
+}

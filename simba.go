@@ -1,0 +1,148 @@
+package simba
+
+import (
+	"simba/internal/addr"
+	"simba/internal/aladdin"
+	"simba/internal/alert"
+	"simba/internal/assistant"
+	"simba/internal/automation"
+	"simba/internal/clock"
+	"simba/internal/core"
+	"simba/internal/dmode"
+	"simba/internal/email"
+	"simba/internal/enduser"
+	"simba/internal/faults"
+	"simba/internal/im"
+	"simba/internal/mab"
+	"simba/internal/mdc"
+	"simba/internal/proxy"
+	"simba/internal/sms"
+	"simba/internal/websim"
+	"simba/internal/wish"
+)
+
+// Core data types.
+type (
+	// Alert is a single user-subscribed notification.
+	Alert = alert.Alert
+	// Urgency expresses how time-critical an alert is.
+	Urgency = alert.Urgency
+	// Address is one registered delivery address.
+	Address = addr.Address
+	// AddressType is a communication type (IM, SMS, EM).
+	AddressType = addr.Type
+	// AddressRegistry is a user's mutable address book.
+	AddressRegistry = addr.Registry
+	// DeliveryMode is a named document of communication blocks.
+	DeliveryMode = dmode.Mode
+	// Block is one communication block of a delivery mode.
+	Block = dmode.Block
+	// Action addresses one delivery attempt within a block.
+	Action = dmode.Action
+	// ModeDuration is a time.Duration that XML-marshals as "30s".
+	ModeDuration = dmode.Duration
+	// Report summarizes one delivery-mode execution.
+	Report = core.Report
+	// Subscription maps a category to a subscriber and mode.
+	Subscription = core.Subscription
+	// Profile is one registered user's addresses and delivery modes.
+	Profile = core.Profile
+	// Store is the subscription layer.
+	Store = core.Store
+	// Engine executes delivery modes.
+	Engine = core.Engine
+	// Target bundles an engine, registry, and mode.
+	Target = core.Target
+	// Clock abstracts time (real or simulated).
+	Clock = clock.Clock
+	// SimClock is the discrete-event simulated clock.
+	SimClock = clock.Sim
+	// Journal records fault and recovery actions.
+	Journal = faults.Journal
+	// SourceRule is a per-source classification rule.
+	SourceRule = mab.SourceRule
+	// Buddy is MyAlertBuddy.
+	Buddy = mab.Service
+	// Watchdog is the Master Daemon Controller.
+	Watchdog = mdc.Controller
+	// EndUser is the simulated human endpoint.
+	EndUser = enduser.User
+	// Receipt is one alert observed by an EndUser.
+	Receipt = enduser.Receipt
+	// Machine hosts the buddy and its client software.
+	Machine = automation.Machine
+	// IMService is the simulated instant-messaging cloud.
+	IMService = im.Service
+	// EmailService is the simulated email infrastructure.
+	EmailService = email.Service
+	// SMSCarrier is the simulated cellular carrier.
+	SMSCarrier = sms.Carrier
+	// Web is the simulated web the alert proxy polls.
+	Web = websim.Web
+	// Site is one simulated web site.
+	Site = websim.Site
+	// AlertProxy polls pages and alerts on block changes.
+	AlertProxy = proxy.Proxy
+	// Monitor describes one page block watched by the proxy.
+	Monitor = proxy.Monitor
+	// Home is the simulated Aladdin deployment.
+	Home = aladdin.Home
+	// WISHServer is the location server and its alert service.
+	WISHServer = wish.Server
+	// WISHClient beacons signal measurements for one user.
+	WISHClient = wish.Client
+	// AccessPoint is one 802.11 AP at a known position.
+	AccessPoint = wish.AP
+	// Zone is a named rectangular region of the tracked map.
+	Zone = wish.Zone
+	// DesktopAssistant forwards important email/reminders when away.
+	DesktopAssistant = assistant.Assistant
+)
+
+// Urgency levels.
+const (
+	UrgencyLow      = alert.UrgencyLow
+	UrgencyNormal   = alert.UrgencyNormal
+	UrgencyHigh     = alert.UrgencyHigh
+	UrgencyCritical = alert.UrgencyCritical
+)
+
+// Communication types.
+const (
+	TypeIM    = addr.TypeIM
+	TypeSMS   = addr.TypeSMS
+	TypeEmail = addr.TypeEmail
+)
+
+// Classifier keyword-extraction strategies.
+const (
+	ExtractNative  = mab.ExtractNative
+	ExtractSender  = mab.ExtractSender
+	ExtractSubject = mab.ExtractSubject
+)
+
+// RejuvenateKeyword triggers remote rejuvenation of a buddy when it
+// appears in an IM text or email subject.
+const RejuvenateKeyword = mab.RejuvenateKeyword
+
+// NextAlertID returns a process-unique alert ID with the given prefix.
+func NextAlertID(prefix string) string { return alert.NextID(prefix) }
+
+// Figure4Mode returns the paper's Figure 4 sample delivery mode.
+func Figure4Mode() *DeliveryMode { return dmode.Figure4() }
+
+// IMThenEmailMode returns the canonical "IM with acknowledgement,
+// fallback email" mode.
+func IMThenEmailMode(imName, emailName string, ackTimeout ModeDuration) *DeliveryMode {
+	return &DeliveryMode{Name: "IMThenEmail", Blocks: []Block{
+		{Timeout: ackTimeout, Actions: []Action{{Address: imName}}},
+		{Actions: []Action{{Address: emailName}}},
+	}}
+}
+
+// ParseDeliveryMode parses and validates a delivery-mode XML document.
+func ParseDeliveryMode(data []byte) (*DeliveryMode, error) { return dmode.Unmarshal(data) }
+
+// SMSGatewayAddress returns the email-style carrier gateway address
+// for a phone number.
+func SMSGatewayAddress(number string) string { return sms.GatewayAddress(number) }
