@@ -6,27 +6,53 @@
 // availability machinery. Events stream to stdout as virtual time
 // advances.
 //
+// With -hub, simbad instead runs the multi-tenant hosting experiment:
+// N MyAlertBuddy pipelines behind a K-way sharded hub over one shared
+// group-commit WAL, fed a portal-style workload in real time, then
+// reports throughput, fsync amplification, latency, and admission
+// statistics.
+//
 // Usage:
 //
 //	simbad [-hours N]
+//	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dist"
 	"simba/internal/harness"
+	"simba/internal/hub"
+	"simba/internal/mab"
 	"simba/internal/proxy"
 	"simba/internal/wish"
 )
 
 func main() {
 	hours := flag.Int("hours", 2, "virtual hours to run")
+	hubMode := flag.Bool("hub", false, "run the multi-tenant hub experiment instead of the single-buddy day")
+	users := flag.Int("users", 1000, "hub: hosted tenants")
+	shards := flag.Int("shards", 8, "hub: shard-table size")
+	alerts := flag.Int("alerts", 10000, "hub: alerts to submit")
+	window := flag.Duration("window", 2*time.Millisecond, "hub: group-commit window")
+	seed := flag.Int64("seed", 1, "hub: RNG seed")
 	flag.Parse()
+	if *hubMode {
+		if err := runHub(*users, *shards, *alerts, *window, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*hours); err != nil {
 		log.Fatal(err)
 	}
@@ -142,3 +168,112 @@ func run(hours int) error {
 }
 
 func stamp(t time.Time) string { return t.Format("15:04:05") }
+
+// runHub hosts N tenants behind a K-way sharded hub and drives a
+// portal-style workload through it, printing the capacity figures the
+// hosted deployment is sized by: alerts/s, fsyncs per alert, commit
+// batch size, end-to-end latency, and admission rejects.
+func runHub(users, shards, alerts int, window time.Duration, seed int64) error {
+	if users <= 0 || shards <= 0 || alerts <= 0 {
+		return fmt.Errorf("simbad: -users, -shards, and -alerts must be positive")
+	}
+	tmp, err := os.MkdirTemp("", "simbad-hub")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	clk := clock.NewReal()
+	rng := dist.NewRNG(seed)
+	sink := hub.NewSimSink(rng.Fork("substrate"), shards,
+		dist.LogNormal{Mu: -1.4, Sigma: 0.5}, 0.01) // median ≈ 250ms substrate delay
+	h, err := hub.New(hub.Config{
+		Clock:        clk,
+		Sink:         sink,
+		WALPath:      filepath.Join(tmp, "hub.wal"),
+		Shards:       shards,
+		CommitWindow: window,
+		RNG:          rng,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < users; i++ {
+		b, err := h.AddUser(fmt.Sprintf("user-%d", i))
+		if err != nil {
+			return err
+		}
+		b.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+		b.Pipeline().Aggregator.Map("stocks", "Investment")
+	}
+	if err := h.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("hub: hosting %d users on %d shards (queue depth %d, commit window %v)\n",
+		users, shards, hub.DefaultQueueDepth, window)
+
+	workers := 32
+	if workers > alerts {
+		workers = alerts
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < alerts; i += workers {
+				user := fmt.Sprintf("user-%d", i%users)
+				a := &alert.Alert{
+					ID:       fmt.Sprintf("a-%d", i),
+					Source:   "portal",
+					Keywords: []string{"stocks"},
+					Subject:  "quote update",
+					Urgency:  alert.UrgencyNormal,
+					Created:  clk.Now(),
+				}
+				for {
+					err := h.Submit(user, a)
+					var over *hub.OverloadError
+					if errors.As(err, &over) {
+						time.Sleep(over.RetryAfter)
+						continue
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := h.Drain(); err != nil {
+		return err
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	elapsed := time.Since(start)
+
+	st := h.Stats()
+	c := h.Counters()
+	fmt.Printf("\nsubmitted %d alerts in %v (%.0f alerts/s)\n",
+		alerts, elapsed.Round(time.Millisecond), float64(alerts)/elapsed.Seconds())
+	fmt.Printf("WAL: %d appends over %d fsyncs — %.1f records/fsync, %.2f fsyncs/alert\n",
+		st.Appends, st.Syncs, st.MeanBatch, float64(st.Syncs)/float64(alerts))
+	lat := h.Latency().Summarize()
+	fmt.Printf("routing latency: mean %v, p50 %v, p99 %v (n=%d)\n",
+		lat.Mean.Round(time.Microsecond), lat.P50.Round(time.Microsecond),
+		lat.P99.Round(time.Microsecond), lat.Count)
+	fmt.Printf("delivered %d, simulated drops %d, overload rejects %d, duplicates %d\n",
+		sink.Delivered(), sink.Dropped(), c.Get("rejects-overload"), c.Get("duplicates"))
+	for _, s := range st.Shards {
+		fmt.Printf("  shard %d: peak queue depth %d\n", s.Shard, s.PeakDepth)
+	}
+	return nil
+}

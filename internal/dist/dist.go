@@ -6,7 +6,9 @@
 package dist
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
@@ -16,13 +18,28 @@ import (
 // RNG is a concurrency-safe source of randomness with a fixed seed, so
 // every experiment is reproducible.
 type RNG struct {
-	mu sync.Mutex
-	r  *rand.Rand
+	mu   sync.Mutex
+	seed int64
+	r    *rand.Rand
 }
 
 // NewRNG returns a seeded RNG.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork returns a child RNG seeded deterministically from the parent's
+// seed and label. The child's stream depends only on (seed, label) —
+// not on how many draws the parent or any sibling has made — so
+// parallel consumers (e.g. hub shards) each fork their own RNG instead
+// of serializing on one shared mutex, and runs stay reproducible.
+func (g *RNG) Fork(label string) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.seed))
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	return NewRNG(int64(h.Sum64()))
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -190,3 +190,59 @@ func TestAllDistsNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestForkDeterministic(t *testing.T) {
+	a := NewRNG(42).Fork("shard-3")
+	b := NewRNG(42).Fork("shard-3")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, label) fork diverged")
+		}
+	}
+}
+
+func TestForkIndependentOfParentPosition(t *testing.T) {
+	p1 := NewRNG(7)
+	p2 := NewRNG(7)
+	for i := 0; i < 50; i++ {
+		p2.Float64() // advance one parent; forks must not care
+	}
+	a, b := p1.Fork("x"), p2.Fork("x")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("fork stream depends on parent draw position")
+		}
+	}
+}
+
+func TestForkLabelsDiverge(t *testing.T) {
+	p := NewRNG(9)
+	a, b := p.Fork("shard-0"), p.Fork("shard-1")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different labels produced %d/100 identical draws", same)
+	}
+}
+
+func TestForkConcurrent(t *testing.T) {
+	p := NewRNG(1)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			g := p.Fork(string(rune('a' + i)))
+			for j := 0; j < 1000; j++ {
+				g.Float64()
+				p.Float64()
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,546 @@
+// Package hub is the multi-tenant hosting layer that multiplexes many
+// MyAlertBuddies into one simbad process. The paper's buddy is a
+// personal, always-on router — one process per user; the hub keeps the
+// same dependability contract (pessimistic log before ack, replay on
+// restart, timestamp-based duplicate detection downstream) while
+// hosting thousands of users behind a shard table:
+//
+//   - User IDs hash onto K shards. Each shard owns a single-goroutine
+//     event loop and a bounded inbound queue with explicit admission
+//     control: when the queue is full, Submit fails with an
+//     OverloadError carrying a retry hint. An alert is never
+//     acknowledged (Submit never returns nil) unless it is durable, and
+//     a durable alert is never silently dropped — it is either routed
+//     and marked processed or replayed by the next incarnation.
+//   - All shards append to one shared group-commit WAL
+//     (plog.GroupLog): RECV and DONE records from every tenant are
+//     batched into a single fsync per commit window instead of one per
+//     alert, preserving log-before-ack while cutting fsyncs by orders
+//     of magnitude.
+//   - On restart the WAL is scanned and every user's unprocessed
+//     alerts are replayed through their rebuilt buddy before the hub
+//     accepts new traffic.
+//   - Per-shard queue depths, admission rejects, commit-batch sizes,
+//     and end-to-end routing latency are exposed via internal/metrics;
+//     Drain stops intake, lets the shards finish their queues, and
+//     flushes the WAL.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dist"
+	"simba/internal/faults"
+	"simba/internal/mab"
+	"simba/internal/metrics"
+	"simba/internal/plog"
+)
+
+// Defaults.
+const (
+	// DefaultShards is the shard count when Config.Shards is zero.
+	DefaultShards = 4
+	// DefaultQueueDepth bounds each shard's inbound queue (covering
+	// both queued and in-admission alerts).
+	DefaultQueueDepth = 256
+	// DefaultCommitMaxBatch caps WAL lines per group commit.
+	DefaultCommitMaxBatch = 1024
+	// DefaultLatencyReservoir bounds the end-to-end latency recorder's
+	// memory on million-alert runs.
+	DefaultLatencyReservoir = 4096
+)
+
+// keySep joins the tenant ID and the alert's dedup key inside WAL
+// record keys, so recovery can attribute each entry to its user. It is
+// a control character no user ID or dedup key contains.
+const keySep = "\x1f"
+
+// Hub errors.
+var (
+	// ErrNotAccepting indicates the hub is not started, draining, or
+	// killed. The sender should fail over, not retry immediately.
+	ErrNotAccepting = errors.New("hub: not accepting alerts")
+	// ErrUnknownUser indicates no tenant is registered for the user.
+	ErrUnknownUser = errors.New("hub: unknown user")
+)
+
+// OverloadError is the admission-control rejection: the target shard's
+// queue is full. The alert was NOT logged or acknowledged — the sender
+// must retry (after RetryAfter) or fall back, exactly as if the ack had
+// been lost. Rejecting before the pessimistic log keeps the invariant
+// "never silently drop an acknowledged alert".
+type OverloadError struct {
+	User  string
+	Shard int
+	// Depth is the shard queue's configured capacity.
+	Depth int
+	// RetryAfter is a hint: roughly how long until the shard has
+	// drained enough of its queue to admit new work.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("hub: shard %d overloaded (queue depth %d); retry after %v",
+		e.Shard, e.Depth, e.RetryAfter)
+}
+
+// Sink is the delivery substrate the hub routes into: the hosted
+// equivalent of the buddy's delivery engine. shard identifies the
+// calling shard so simulated substrates can use per-shard forked RNGs
+// instead of serializing on one.
+type Sink interface {
+	Deliver(shard int, user string, a *alert.Alert) error
+}
+
+// Config parameterizes the hub.
+type Config struct {
+	// Clock and Sink are required.
+	Clock clock.Clock
+	Sink  Sink
+	// WALPath is the shared group-commit journal; required.
+	WALPath string
+	// Shards is the shard-table size; zero means DefaultShards.
+	Shards int
+	// QueueDepth bounds each shard's inbound queue; zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// CommitWindow is the group-commit accumulation window (wall
+	// clock). Zero commits as soon as the previous fsync finishes,
+	// which still batches naturally under load.
+	CommitWindow time.Duration
+	// CommitMaxBatch caps WAL lines per fsync; zero means
+	// DefaultCommitMaxBatch.
+	CommitMaxBatch int
+	// RNG seeds the per-shard forked RNGs handed to simulated
+	// substrates. Optional.
+	RNG *dist.RNG
+	// Journal records replay/recovery actions. Optional.
+	Journal *faults.Journal
+	// LatencyReservoir caps the routing-latency recorder's sample
+	// memory; zero means DefaultLatencyReservoir.
+	LatencyReservoir int
+	// CrashBeforeMark is a fault-injection point: when the flag is
+	// active, a shard that has just routed an alert kills the whole hub
+	// before marking the alert processed — the paper's
+	// crash-between-routing-and-marking window. Optional.
+	CrashBeforeMark *faults.Flag
+}
+
+// Buddy is one hosted tenant: the per-user MyAlertBuddy pipeline
+// rebuilt inside the hub. Configure its stages through Pipeline().
+type Buddy struct {
+	user string
+	pipe *mab.Pipeline
+
+	routed, rejected, filtered, delivered atomic.Int64
+}
+
+// User returns the tenant's user ID.
+func (b *Buddy) User() string { return b.user }
+
+// Pipeline returns the tenant's classify→aggregate→filter stages.
+func (b *Buddy) Pipeline() *mab.Pipeline { return b.pipe }
+
+// Routed returns how many alerts passed the tenant's pipeline.
+func (b *Buddy) Routed() int64 { return b.routed.Load() }
+
+// Delivered returns how many alerts the sink accepted for the tenant.
+func (b *Buddy) Delivered() int64 { return b.delivered.Load() }
+
+// Hub hosts N per-user buddies across K shards over one group-commit
+// WAL. It is safe for concurrent use.
+type Hub struct {
+	cfg    Config
+	wal    *plog.GroupLog
+	shards []*shard
+
+	mu      sync.RWMutex
+	users   map[string]*Buddy
+	started bool
+
+	accepting atomic.Bool
+	killed    chan struct{}
+	killOnce  sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	closeErr  error
+	loops     sync.WaitGroup
+
+	counters *metrics.CounterSet
+	latency  *metrics.Recorder
+}
+
+// New validates the config and opens the hub's WAL. Call AddUser for
+// each tenant, then Start.
+func New(cfg Config) (*Hub, error) {
+	if cfg.Clock == nil || cfg.Sink == nil {
+		return nil, errors.New("hub: Config requires Clock and Sink")
+	}
+	if cfg.WALPath == "" {
+		return nil, errors.New("hub: Config requires WALPath")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.CommitMaxBatch <= 0 {
+		cfg.CommitMaxBatch = DefaultCommitMaxBatch
+	}
+	if cfg.LatencyReservoir <= 0 {
+		cfg.LatencyReservoir = DefaultLatencyReservoir
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = dist.NewRNG(1)
+	}
+	wal, err := plog.OpenGroup(cfg.WALPath, plog.GroupOptions{
+		Window:   cfg.CommitWindow,
+		MaxBatch: cfg.CommitMaxBatch,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hub: opening WAL: %w", err)
+	}
+	h := &Hub{
+		cfg:      cfg,
+		wal:      wal,
+		users:    make(map[string]*Buddy),
+		killed:   make(chan struct{}),
+		stopped:  make(chan struct{}),
+		counters: &metrics.CounterSet{},
+		latency:  metrics.NewReservoir(cfg.LatencyReservoir),
+	}
+	h.shards = make([]*shard, cfg.Shards)
+	for i := range h.shards {
+		h.shards[i] = newShard(i, cfg.QueueDepth, cfg.RNG.Fork(fmt.Sprintf("hub-shard-%d", i)))
+	}
+	return h, nil
+}
+
+// AddUser registers a tenant. The returned Buddy's pipeline accepts no
+// sources until configured. Tenants may be added before or after Start.
+func (h *Hub) AddUser(user string) (*Buddy, error) {
+	if user == "" {
+		return nil, errors.New("hub: empty user")
+	}
+	if strings.Contains(user, keySep) {
+		return nil, fmt.Errorf("hub: user %q contains reserved separator", user)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.users[user]; ok {
+		return nil, fmt.Errorf("hub: user %q already hosted", user)
+	}
+	b := &Buddy{user: user, pipe: mab.NewPipeline()}
+	h.users[user] = b
+	return b, nil
+}
+
+// Users returns the number of hosted tenants.
+func (h *Hub) Users() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.users)
+}
+
+// buddy looks up a tenant.
+func (h *Hub) buddy(user string) (*Buddy, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	b, ok := h.users[user]
+	return b, ok
+}
+
+// shardOf maps a user ID onto its shard.
+func (h *Hub) shardOf(user string) *shard {
+	f := fnv.New32a()
+	f.Write([]byte(user))
+	return h.shards[int(f.Sum32())%len(h.shards)]
+}
+
+// Start launches the shard loops, replays every user's unprocessed WAL
+// entries through their rebuilt buddies, and only then opens admission.
+func (h *Hub) Start() error {
+	h.mu.Lock()
+	if h.started {
+		h.mu.Unlock()
+		return errors.New("hub: already started")
+	}
+	h.started = true
+	h.mu.Unlock()
+	for _, sh := range h.shards {
+		h.loops.Add(1)
+		go h.run(sh)
+	}
+	h.replay()
+	h.accepting.Store(true)
+	return nil
+}
+
+// replay re-enqueues the WAL's unprocessed entries, per user, in
+// arrival order. Runs before admission opens, so replayed alerts are
+// routed ahead of new traffic.
+func (h *Hub) replay() {
+	for _, rec := range h.wal.Unprocessed() {
+		user, _, ok := strings.Cut(rec.Key, keySep)
+		if !ok {
+			h.journal(faults.KindReplay, "tombstoning WAL entry with malformed key %q", rec.Key)
+			_ = h.wal.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			h.counters.Add1("tombstoned")
+			continue
+		}
+		b, hosted := h.buddy(user)
+		if !hosted {
+			h.journal(faults.KindReplay, "tombstoning WAL entry for unhosted user %q", user)
+			_ = h.wal.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			h.counters.Add1("tombstoned")
+			continue
+		}
+		var a alert.Alert
+		if err := a.UnmarshalText(rec.Payload); err != nil {
+			h.journal(faults.KindReplay, "tombstoning unparsable WAL entry %q: %v", rec.Key, err)
+			_ = h.wal.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			h.counters.Add1("tombstoned")
+			continue
+		}
+		h.journal(faults.KindReplay, "replaying unprocessed alert %s for %s", a.DedupKey(), user)
+		h.counters.Add1("replayed")
+		sh := h.shardOf(user)
+		sh.reserveBlocking() // startup: loops are draining, so this cannot wedge
+		sh.enqueue(envelope{buddy: b, alert: &a, key: rec.Key, at: h.cfg.Clock.Now()})
+	}
+}
+
+// Submit offers one alert for the user. A nil return is the hub's
+// acknowledgement: the alert is durably logged and will be routed (or
+// replayed by the next incarnation). Errors mean NOT acknowledged —
+// OverloadError asks the sender to retry after the hint; other errors
+// indicate rejection (unknown user, invalid alert, closed hub).
+func (h *Hub) Submit(user string, a *alert.Alert) error {
+	if !h.accepting.Load() {
+		return ErrNotAccepting
+	}
+	if err := a.Validate(); err != nil {
+		h.counters.Add1("rejected-invalid")
+		return err
+	}
+	b, ok := h.buddy(user)
+	if !ok {
+		h.counters.Add1("rejected-unknown-user")
+		return fmt.Errorf("hub: submit for %q: %w", user, ErrUnknownUser)
+	}
+	key := user + keySep + a.DedupKey()
+	if h.wal.Has(key) {
+		// Duplicate delivery of an already-acknowledged alert (e.g. an
+		// ack lost in flight). Re-ack idempotently, but only once the
+		// original is durable.
+		if err := h.wal.LogReceived(key, nil, h.cfg.Clock.Now()); err != nil {
+			return err
+		}
+		h.counters.Add1("duplicates")
+		return nil
+	}
+	sh := h.shardOf(user)
+	// Admission control BEFORE the pessimistic log: a rejected alert
+	// was never acked, so the sender retries — nothing can be lost.
+	if !sh.reserve() {
+		h.counters.Add1("rejects-overload")
+		return &OverloadError{
+			User:       user,
+			Shard:      sh.id,
+			Depth:      h.cfg.QueueDepth,
+			RetryAfter: sh.retryHint(h.cfg.CommitWindow),
+		}
+	}
+	payload, err := a.MarshalText()
+	if err != nil {
+		sh.release()
+		h.counters.Add1("rejected-invalid")
+		return err
+	}
+	// Pessimistic group-commit logging: this blocks until the batch
+	// holding the RECV record is fsynced. Only then do we acknowledge.
+	if err := h.wal.LogReceived(key, payload, h.cfg.Clock.Now()); err != nil {
+		sh.release()
+		return err
+	}
+	h.counters.Add1("received")
+	sh.enqueue(envelope{buddy: b, alert: a.Clone(), key: key, at: h.cfg.Clock.Now()})
+	return nil
+}
+
+// run is one shard's event loop: route, then mark processed.
+func (h *Hub) run(sh *shard) {
+	defer h.loops.Done()
+	for {
+		select {
+		case <-h.killed:
+			return
+		case env, ok := <-sh.q:
+			if !ok {
+				return
+			}
+			// A kill may have landed while this envelope was ready;
+			// honor it before touching more work so a crashed hub stops
+			// deterministically.
+			select {
+			case <-h.killed:
+				return
+			default:
+			}
+			h.process(sh, env)
+		}
+	}
+}
+
+// process performs the per-alert work a personal buddy would: evaluate
+// the tenant's pipeline, deliver through the sink, then durably mark
+// the WAL entry processed. The crash window between routing and
+// marking is exactly the one the paper's timestamp-dedup contract
+// covers.
+func (h *Hub) process(sh *shard, env envelope) {
+	defer sh.release()
+	b := env.buddy
+	category, verdict := b.pipe.Evaluate(env.alert, h.cfg.Clock.Now())
+	switch verdict {
+	case mab.VerdictReject:
+		b.rejected.Add(1)
+		h.counters.Add1("rejected")
+	case mab.VerdictFilter:
+		b.filtered.Add(1)
+		h.counters.Add1("filtered")
+	default:
+		routed := env.alert.Clone()
+		routed.Keywords = []string{category}
+		if err := h.cfg.Sink.Deliver(sh.id, b.user, routed); err != nil {
+			h.counters.Add1("undeliverable")
+		} else {
+			b.delivered.Add(1)
+			h.counters.Add1("delivered")
+		}
+		b.routed.Add(1)
+		h.counters.Add1("routed")
+	}
+	if f := h.cfg.CrashBeforeMark; f != nil && f.Active() {
+		h.journal(faults.KindFaultInjected,
+			"hub killed between routing and mark-processed (user %s, alert %s)",
+			b.user, env.alert.DedupKey())
+		h.Kill()
+		return
+	}
+	// Async mark: the DONE record joins the next group commit without
+	// stalling the shard loop for a full commit window. Losing an
+	// unflushed DONE only causes a replay, which the dedup contract
+	// covers; Drain/Close still flush every staged record.
+	if err := h.wal.MarkProcessedAsync(env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
+		h.counters.Add1("mark-failed")
+	}
+	h.latency.Observe(h.cfg.Clock.Since(env.at))
+}
+
+// Kill abruptly terminates the hub, simulating a crash: admission stops
+// immediately and shard loops abandon their queues (queued alerts stay
+// unprocessed in the WAL for the next incarnation to replay). Teardown
+// completes asynchronously — wait on Stopped() before reopening the WAL
+// path. Kill is safe to call from inside a shard loop (the
+// fault-injection path does exactly that).
+func (h *Hub) Kill() {
+	h.killOnce.Do(func() {
+		h.accepting.Store(false)
+		close(h.killed)
+		go h.shutdown()
+	})
+}
+
+// Stopped is closed once the hub has fully shut down (loops exited, WAL
+// flushed and closed).
+func (h *Hub) Stopped() <-chan struct{} { return h.stopped }
+
+// shutdown waits for the loops and closes the WAL. Runs at most once.
+func (h *Hub) shutdown() {
+	h.stopOnce.Do(func() {
+		h.loops.Wait()
+		h.closeErr = h.wal.Close()
+		close(h.stopped)
+	})
+}
+
+// Drain gracefully shuts the hub down: admission stops with
+// ErrNotAccepting, every shard finishes its queue, and the WAL is
+// flushed and closed.
+func (h *Hub) Drain() error {
+	h.accepting.Store(false)
+	for _, sh := range h.shards {
+		sh.close()
+	}
+	h.shutdown()
+	<-h.stopped
+	return h.closeErr
+}
+
+// Counters returns the hub-level counters: received, delivered, routed,
+// rejected, filtered, duplicates, rejects-overload, replayed,
+// tombstoned, undeliverable.
+func (h *Hub) Counters() *metrics.CounterSet { return h.counters }
+
+// Latency returns the end-to-end routing latency recorder
+// (admission → marked processed), reservoir-sampled.
+func (h *Hub) Latency() *metrics.Recorder { return h.latency }
+
+// ShardStat is one shard's observability snapshot.
+type ShardStat struct {
+	Shard     int
+	Depth     int // current queued + in-admission alerts
+	PeakDepth int
+}
+
+// Stats is a point-in-time snapshot of the hub's health.
+type Stats struct {
+	Users   int
+	Shards  []ShardStat
+	Appends int64 // WAL lines staged (RECV + DONE)
+	Syncs   int64 // fsyncs issued
+	// MeanBatch is Appends/Syncs — the group-commit amplification.
+	MeanBatch float64
+}
+
+// Stats snapshots queue depths and WAL commit statistics.
+func (h *Hub) Stats() Stats {
+	s := Stats{
+		Users:   h.Users(),
+		Appends: h.wal.Appended(),
+		Syncs:   h.wal.Syncs(),
+	}
+	if s.Syncs > 0 {
+		s.MeanBatch = float64(s.Appends) / float64(s.Syncs)
+	}
+	for _, sh := range h.shards {
+		s.Shards = append(s.Shards, ShardStat{
+			Shard:     sh.id,
+			Depth:     int(sh.depth.Load()),
+			PeakDepth: int(sh.peak.Load()),
+		})
+	}
+	return s
+}
+
+// WALSyncs returns the number of fsyncs the shared WAL has issued.
+func (h *Hub) WALSyncs() int64 { return h.wal.Syncs() }
+
+// WALAppends returns the number of records staged into the shared WAL.
+func (h *Hub) WALAppends() int64 { return h.wal.Appended() }
+
+func (h *Hub) journal(kind faults.Kind, format string, args ...any) {
+	if h.cfg.Journal != nil {
+		h.cfg.Journal.Recordf(h.cfg.Clock.Now(), kind, format, args...)
+	}
+}

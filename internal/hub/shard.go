@@ -1,0 +1,119 @@
+package hub
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/dist"
+)
+
+// envelope is one admitted alert riding a shard queue.
+type envelope struct {
+	buddy *Buddy
+	alert *alert.Alert
+	key   string
+	at    time.Time // admission time, for end-to-end latency
+}
+
+// shard owns a single-goroutine event loop and a bounded inbound
+// queue. depth counts admitted-but-unfinished alerts (queued plus the
+// one being processed plus those mid-admission waiting on the WAL), so
+// reservation happens before the pessimistic log and a reserved slot
+// guarantees the later enqueue cannot block or drop.
+type shard struct {
+	id  int
+	cap int64
+	q   chan envelope
+	rng *dist.RNG // forked per shard; simulated substrates draw from it
+
+	depth atomic.Int64
+	peak  atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newShard(id, queueDepth int, rng *dist.RNG) *shard {
+	return &shard{
+		id:  id,
+		cap: int64(queueDepth),
+		q:   make(chan envelope, queueDepth),
+		rng: rng,
+	}
+}
+
+// reserve claims one queue slot, failing when the shard is at capacity.
+func (s *shard) reserve() bool {
+	for {
+		d := s.depth.Load()
+		if d >= s.cap {
+			return false
+		}
+		if s.depth.CompareAndSwap(d, d+1) {
+			s.notePeak(d + 1)
+			return true
+		}
+	}
+}
+
+// reserveBlocking claims a slot, waiting for one to free up. Only used
+// during startup replay, while the loops are guaranteed to be draining.
+func (s *shard) reserveBlocking() {
+	for !s.reserve() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// release returns a slot.
+func (s *shard) release() { s.depth.Add(-1) }
+
+func (s *shard) notePeak(d int64) {
+	for {
+		p := s.peak.Load()
+		if d <= p || s.peak.CompareAndSwap(p, d) {
+			return
+		}
+	}
+}
+
+// enqueue hands an admitted envelope to the loop. The caller must hold
+// a reservation, so the buffered send cannot block; the read lock
+// fences against close so a graceful drain never races a send.
+func (s *shard) enqueue(env envelope) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		// Drain raced us after reservation: the alert is durable and
+		// unmarked, so the next incarnation replays it. Nothing is
+		// silently lost.
+		s.depth.Add(-1)
+		return
+	}
+	s.q <- env
+}
+
+// close ends intake for a graceful drain; the loop exits after the
+// queue empties.
+func (s *shard) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.q)
+	}
+}
+
+// retryHint estimates how long the sender should back off: the queue
+// needs roughly a commit window per batch of queued work to drain, plus
+// jitter from the shard's own RNG so a thundering herd of rejected
+// senders does not return in lockstep.
+func (s *shard) retryHint(window time.Duration) time.Duration {
+	if window <= 0 {
+		window = 5 * time.Millisecond
+	}
+	base := window + time.Duration(s.depth.Load())*time.Millisecond
+	jitter := time.Duration(s.rng.Float64() * float64(base) / 2)
+	return base + jitter
+}

@@ -120,12 +120,10 @@ type Config struct {
 // survives restarts; each Start creates a fresh incarnation. Service
 // implements mdc.Daemon.
 type Service struct {
-	cfg        Config
-	store      *core.Store
-	classifier *Classifier
-	aggregator *Aggregator
-	filter     *Filter
-	counters   *metrics.CounterSet
+	cfg      Config
+	store    *core.Store
+	pipeline *Pipeline
+	counters *metrics.CounterSet
 
 	mu  sync.Mutex
 	inc *incarnation
@@ -166,12 +164,10 @@ func New(cfg Config) (*Service, error) {
 		cfg.RejuvenationTime = DefaultRejuvenationTime
 	}
 	return &Service{
-		cfg:        cfg,
-		store:      core.NewStore(),
-		classifier: NewClassifier(),
-		aggregator: NewAggregator(),
-		filter:     NewFilter(),
-		counters:   &metrics.CounterSet{},
+		cfg:      cfg,
+		store:    core.NewStore(),
+		pipeline: NewPipeline(),
+		counters: &metrics.CounterSet{},
 	}, nil
 }
 
@@ -179,14 +175,18 @@ func New(cfg Config) (*Service, error) {
 // modes, subscriptions). It persists across incarnations.
 func (s *Service) Store() *core.Store { return s.store }
 
+// Pipeline returns the classify→aggregate→filter stages as one unit
+// (shared with the hosted hub).
+func (s *Service) Pipeline() *Pipeline { return s.pipeline }
+
 // Classifier returns the accepted-source rules.
-func (s *Service) Classifier() *Classifier { return s.classifier }
+func (s *Service) Classifier() *Classifier { return s.pipeline.Classifier }
 
 // Aggregator returns the keyword→category mapping.
-func (s *Service) Aggregator() *Aggregator { return s.aggregator }
+func (s *Service) Aggregator() *Aggregator { return s.pipeline.Aggregator }
 
 // Filter returns the category filter.
-func (s *Service) Filter() *Filter { return s.filter }
+func (s *Service) Filter() *Filter { return s.pipeline.Filter }
 
 // Counters returns cumulative processing counters: received, acked,
 // routed, delivered, undeliverable, rejected, filtered, replayed,
@@ -676,13 +676,12 @@ func (inc *incarnation) route(a *alert.Alert) {
 		_ = inc.log.MarkProcessed(a.DedupKey(), inc.clk.Now())
 	}()
 
-	keywords, accepted := svc.classifier.Classify(a, a.EmailFrom)
-	if !accepted {
+	category, verdict := svc.pipeline.Evaluate(a, inc.clk.Now())
+	switch verdict {
+	case VerdictReject:
 		svc.counters.Add1("rejected")
 		return
-	}
-	category := svc.aggregator.Aggregate(keywords)
-	if !svc.filter.Allow(category, inc.clk.Now()) {
+	case VerdictFilter:
 		svc.counters.Add1("filtered")
 		return
 	}

@@ -6,43 +6,87 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
-// Recorder accumulates duration samples. The zero value is ready to use.
+// Recorder accumulates duration samples. The zero value is ready to use
+// and keeps every sample; NewReservoir builds a bounded-memory variant
+// for workloads that observe millions of samples (e.g. hub runs).
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	// limit > 0 switches Observe to reservoir sampling: samples holds a
+	// uniform random subset of at most limit observations while seen,
+	// min, max, sum, and sumsq stay exact.
+	limit int
+	rnd   *rand.Rand
+	seen  int64
+	min   time.Duration
+	max   time.Duration
+	sum   float64
+	sumsq float64
+}
+
+// NewReservoir returns a Recorder that retains at most capacity samples
+// via reservoir sampling. Count, Min, Max, Mean, and Stddev stay exact
+// over every observation; percentiles are estimated from the reservoir.
+// The reservoir's randomness is seeded, so runs are reproducible.
+func NewReservoir(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{limit: capacity, rnd: rand.New(rand.NewSource(1))}
 }
 
 // Observe adds one sample.
 func (r *Recorder) Observe(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
+	r.seen++
+	if r.seen == 1 || d < r.min {
+		r.min = d
+	}
+	if r.seen == 1 || d > r.max {
+		r.max = d
+	}
+	f := float64(d)
+	r.sum += f
+	r.sumsq += f * f
+	switch {
+	case r.limit <= 0 || len(r.samples) < r.limit:
+		r.samples = append(r.samples, d)
+	default:
+		if j := r.rnd.Int63n(r.seen); j < int64(r.limit) {
+			r.samples[j] = d
+		}
+	}
 	r.mu.Unlock()
 }
 
-// Count returns the number of samples recorded.
+// Count returns the number of samples observed (not the reservoir
+// occupancy).
 func (r *Recorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.seen)
 }
 
-// Snapshot returns a copy of the samples.
+// Snapshot returns a copy of the retained samples. For a reservoir
+// Recorder past capacity this is a uniform subset of the observations.
 func (r *Recorder) Snapshot() []time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]time.Duration(nil), r.samples...)
 }
 
-// Reset discards all samples.
+// Reset discards all samples and exact statistics.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.samples = r.samples[:0]
+	r.seen, r.min, r.max, r.sum, r.sumsq = 0, 0, 0, 0, 0
 	r.mu.Unlock()
 }
 
@@ -54,10 +98,29 @@ type Summary struct {
 	P50, P90, P99  time.Duration
 }
 
-// Summarize computes the digest. An empty recorder yields a zero Summary.
+// Summarize computes the digest. An empty recorder yields a zero
+// Summary. Count, Min, Max, Mean, and Stddev are exact over every
+// observation; for a reservoir Recorder past capacity the percentiles
+// are estimates drawn from the retained subset.
 func (r *Recorder) Summarize() Summary {
-	samples := r.Snapshot()
-	return summarize(samples)
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples...)
+	seen, min, max, sum, sumsq := r.seen, r.min, r.max, r.sum, r.sumsq
+	r.mu.Unlock()
+	if seen == 0 {
+		return Summary{}
+	}
+	s := summarize(samples)
+	s.Count = int(seen)
+	s.Min, s.Max = min, max
+	mean := sum / float64(seen)
+	s.Mean = time.Duration(mean)
+	variance := sumsq/float64(seen) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Stddev = time.Duration(math.Sqrt(variance))
+	return s
 }
 
 func summarize(samples []time.Duration) Summary {

@@ -148,3 +148,88 @@ func TestCounterSetConcurrent(t *testing.T) {
 		t.Fatalf("n = %d, want 2000", got)
 	}
 }
+
+func TestReservoirBoundsMemoryKeepsExactStats(t *testing.T) {
+	const cap = 64
+	r := NewReservoir(cap)
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := len(r.Snapshot()); got != cap {
+		t.Fatalf("reservoir holds %d samples, want %d", got, cap)
+	}
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	s := r.Summarize()
+	if s.Count != n {
+		t.Fatalf("Summary.Count = %d, want %d", s.Count, n)
+	}
+	if s.Min != time.Microsecond {
+		t.Fatalf("Min = %v, want 1µs (exact)", s.Min)
+	}
+	if s.Max != n*time.Microsecond {
+		t.Fatalf("Max = %v, want %v (exact)", s.Max, n*time.Microsecond)
+	}
+	wantMean := time.Duration((n + 1) / 2 * int64(time.Microsecond))
+	if diff := s.Mean - wantMean; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("Mean = %v, want %v (exact)", s.Mean, wantMean)
+	}
+	// The uniform [1µs, 100ms] stream has p50 ≈ 50ms; the reservoir
+	// estimate should land in a generous window around it.
+	mid := time.Duration(n/2) * time.Microsecond
+	if s.P50 < mid/2 || s.P50 > mid*3/2 {
+		t.Fatalf("reservoir P50 = %v, want ≈%v", s.P50, mid)
+	}
+}
+
+func TestReservoirBelowCapacityMatchesUnbounded(t *testing.T) {
+	r := NewReservoir(1000)
+	var u Recorder
+	for i := 0; i < 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		r.Observe(d)
+		u.Observe(d)
+	}
+	rs, us := r.Summarize(), u.Summarize()
+	if rs != us {
+		t.Fatalf("below capacity summaries differ:\nreservoir %+v\nunbounded %+v", rs, us)
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(4)
+	for i := 0; i < 100; i++ {
+		r.Observe(time.Second)
+	}
+	r.Reset()
+	if r.Count() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("reset did not clear reservoir")
+	}
+	if s := r.Summarize(); s.Count != 0 {
+		t.Fatalf("post-reset summary %+v", s)
+	}
+	r.Observe(time.Minute)
+	if s := r.Summarize(); s.Min != time.Minute || s.Max != time.Minute {
+		t.Fatalf("post-reset observe summary %+v", s)
+	}
+}
+
+func TestReservoirConcurrent(t *testing.T) {
+	r := NewReservoir(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				r.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 80_000 {
+		t.Fatalf("Count = %d, want 80000", r.Count())
+	}
+}

@@ -1,0 +1,258 @@
+package plog
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GroupLog layers group commit over a Log: concurrent appenders stage
+// their records in memory, join the open batch, and block until one
+// fsync makes the whole batch durable. Under load this cuts fsyncs from
+// one per append to one per commit window while preserving the
+// pessimistic contract — LogReceived / MarkProcessed do not return
+// until the record is on disk, so log-before-ack still holds for every
+// caller.
+//
+// Ordering guarantee (what the hub relies on): appends are assigned to
+// batches in the order callers acquire the group lock; batches are
+// written and fsynced strictly in that order, each as a single write.
+// Therefore if append A returned before append B was invoked, A's line
+// precedes B's in the journal, and a crash can lose only a suffix of
+// the final in-flight batch — which recovery truncates at the last
+// complete line (prefix durability).
+type GroupLog struct {
+	log  *Log
+	opts GroupOptions
+
+	appended atomic.Int64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*groupBatch // accumulating batches, FIFO
+	flushing *groupBatch   // batch currently being fsynced, if any
+	closed   bool
+	failed   error // sticky: first batch-write failure poisons the log
+	done     chan struct{}
+}
+
+// GroupOptions tune the commit policy.
+type GroupOptions struct {
+	// Window is how long (wall-clock) the committer waits after waking
+	// for a batch, letting more appends join before the fsync. Zero
+	// commits as soon as the previous fsync completes, which still
+	// batches naturally: appends arriving during an fsync pile into the
+	// next batch.
+	Window time.Duration
+	// MaxBatch caps the journal lines per commit. Zero means 1024.
+	MaxBatch int
+}
+
+// OpenGroup opens (creating if needed) a group-commit log at path,
+// rebuilding in-memory state from the journal exactly as Open does.
+func OpenGroup(path string, opts GroupOptions) (*GroupLog, error) {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
+	l, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g := &GroupLog{log: l, opts: opts, done: make(chan struct{})}
+	g.cond = sync.NewCond(&g.mu)
+	go g.committer()
+	return g, nil
+}
+
+type groupBatch struct {
+	lines []string
+	err   error
+	done  chan struct{}
+}
+
+// LogReceived durably records an incoming alert, returning once the
+// batch holding it has been fsynced. Duplicate keys are idempotent but
+// still wait for any in-flight batch, so a caller acking the duplicate
+// cannot outrun the original's durability.
+func (g *GroupLog) LogReceived(key string, payload []byte, at time.Time) error {
+	if key == "" {
+		return errors.New("plog: empty key")
+	}
+	return g.commit(func() (string, bool, error) {
+		return g.log.stageReceived(key, payload, at)
+	})
+}
+
+// MarkProcessed durably records that the alert has been fully routed,
+// returning once the batch holding the DONE record has been fsynced.
+func (g *GroupLog) MarkProcessed(key string, at time.Time) error {
+	return g.commit(func() (string, bool, error) {
+		return g.log.stageProcessed(key, at)
+	})
+}
+
+// MarkProcessedAsync stages the DONE record into the next group commit
+// and returns without waiting for the fsync (staging errors, e.g.
+// ErrUnknownKey, are still reported). Unlike RECV records — which must
+// be durable before the ack — an unflushed DONE is safe to lose: the
+// entry replays on restart and downstream timestamp dedup discards the
+// duplicate. Shard loops use this so marking does not cost them a full
+// commit window per alert. Close still flushes every staged DONE.
+func (g *GroupLog) MarkProcessedAsync(key string, at time.Time) error {
+	return g.commitNoWait(func() (string, bool, error) {
+		return g.log.stageProcessed(key, at)
+	})
+}
+
+// commitNoWait stages one record and joins a batch without waiting for
+// durability.
+func (g *GroupLog) commitNoWait(stage func() (line string, fresh bool, err error)) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	if g.failed != nil {
+		return g.failed
+	}
+	line, fresh, err := stage()
+	if err != nil {
+		return err
+	}
+	if fresh {
+		b := g.openBatchLocked()
+		b.lines = append(b.lines, line)
+		g.appended.Add(1)
+		g.cond.Signal()
+	}
+	return nil
+}
+
+// commit stages one record, joins a batch, and waits for durability.
+func (g *GroupLog) commit(stage func() (line string, fresh bool, err error)) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	if g.failed != nil {
+		err := g.failed
+		g.mu.Unlock()
+		return err
+	}
+	line, fresh, err := stage()
+	if err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	var b *groupBatch
+	if fresh {
+		b = g.openBatchLocked()
+		b.lines = append(b.lines, line)
+		g.appended.Add(1)
+		g.cond.Signal()
+	} else {
+		// No-op append (duplicate RECV or repeated DONE): the original
+		// record is either already durable or in a pending batch; wait
+		// for the youngest pending work, if any.
+		switch {
+		case len(g.queue) > 0:
+			b = g.queue[len(g.queue)-1]
+		case g.flushing != nil:
+			b = g.flushing
+		default:
+			g.mu.Unlock()
+			return nil
+		}
+	}
+	g.mu.Unlock()
+	<-b.done
+	return b.err
+}
+
+// openBatchLocked returns the batch new appends should join, starting a
+// new one when none is open or the tail is full. Caller holds g.mu.
+func (g *GroupLog) openBatchLocked() *groupBatch {
+	if n := len(g.queue); n > 0 && len(g.queue[n-1].lines) < g.opts.MaxBatch {
+		return g.queue[n-1]
+	}
+	b := &groupBatch{done: make(chan struct{})}
+	g.queue = append(g.queue, b)
+	return b
+}
+
+// committer is the single goroutine that flushes batches in order.
+func (g *GroupLog) committer() {
+	defer close(g.done)
+	for {
+		g.mu.Lock()
+		for len(g.queue) == 0 && !g.closed {
+			g.cond.Wait()
+		}
+		if len(g.queue) == 0 {
+			g.mu.Unlock()
+			return // closed and drained
+		}
+		if w := g.opts.Window; w > 0 && !g.closed {
+			g.mu.Unlock()
+			time.Sleep(w) // let more appends join the open batch
+			g.mu.Lock()
+		}
+		b := g.queue[0]
+		g.queue = g.queue[1:]
+		g.flushing = b
+		g.mu.Unlock()
+
+		err := g.log.appendBatch(b.lines)
+
+		g.mu.Lock()
+		g.flushing = nil
+		if err != nil && g.failed == nil {
+			g.failed = err
+		}
+		g.mu.Unlock()
+		b.err = err
+		close(b.done)
+	}
+}
+
+// Has reports whether key has been logged (possibly not yet durable).
+func (g *GroupLog) Has(key string) bool { return g.log.Has(key) }
+
+// IsProcessed reports whether key has been marked processed.
+func (g *GroupLog) IsProcessed(key string) bool { return g.log.IsProcessed(key) }
+
+// Unprocessed returns the records received but not yet processed, in
+// arrival order — the restart replay set.
+func (g *GroupLog) Unprocessed() []Record { return g.log.Unprocessed() }
+
+// Len returns the total number of logged alerts.
+func (g *GroupLog) Len() int { return g.log.Len() }
+
+// Path returns the journal file path.
+func (g *GroupLog) Path() string { return g.log.Path() }
+
+// Syncs returns the number of fsyncs issued since OpenGroup.
+func (g *GroupLog) Syncs() int64 { return g.log.Syncs() }
+
+// Appended returns the number of journal lines staged through the
+// group-commit path; Appended()/Syncs() is the mean commit batch size.
+func (g *GroupLog) Appended() int64 { return g.appended.Load() }
+
+// Close flushes every pending batch, waits for the committer to exit,
+// and closes the underlying journal. Further appends fail with
+// ErrClosed.
+func (g *GroupLog) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		<-g.done
+		return nil
+	}
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-g.done
+	return g.log.Close()
+}
