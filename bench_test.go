@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -380,6 +381,131 @@ func BenchmarkHubThroughput(b *testing.B) {
 		b.ReportMetric(float64(alerts)/elapsed.Seconds(), "alerts/s")
 		b.ReportMetric(float64(st.Syncs)/float64(alerts), "fsyncs/alert")
 		b.ReportMetric(st.MeanBatch, "records/fsync")
+	}
+}
+
+// BenchmarkHubSlowSink — the pipelined-delivery experiment: 1,000
+// hosted buddies on 8 shards fed through a sink that really sleeps 1 ms
+// per delivery (an IM manager or email fallback at realistic latency).
+// The "sync" baseline serializes deliveries per shard (DeliveryWindow
+// 1 — the pre-pipeline behavior, where one slow delivery stalls every
+// tenant on the shard); "pipelined" uses the default bounded in-flight
+// window, so only same-user deliveries chain. The pipelined variant
+// must sustain ≥5× the baseline throughput at equal shard count; see
+// BENCH_hub.json for recorded figures.
+func BenchmarkHubSlowSink(b *testing.B) {
+	const users, alerts, workers = 1000, 8000, 128
+	const sinkLatency = time.Millisecond
+	for _, mode := range []struct {
+		name   string
+		window int
+	}{
+		{"sync", 1},
+		{"pipelined", 0}, // default DeliveryWindow
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			clk := clock.NewReal()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var delivered atomic.Int64
+				sink := hub.FuncSink(func(shard int, user string, a *alert.Alert) error {
+					time.Sleep(sinkLatency)
+					delivered.Add(1)
+					return nil
+				})
+				h, err := hub.New(hub.Config{
+					Clock: clk, Sink: sink,
+					WALPath: b.TempDir() + "/hub.wal",
+					Shards:  8, QueueDepth: 512,
+					CommitWindow:   2 * time.Millisecond,
+					DeliveryWindow: mode.window,
+					RNG:            dist.NewRNG(int64(i) + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for u := 0; u < users; u++ {
+					bd, err := h.AddUser(fmt.Sprintf("user-%d", u))
+					if err != nil {
+						b.Fatal(err)
+					}
+					bd.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+					bd.Pipeline().Aggregator.Map("stocks", "Investment")
+				}
+				if err := h.Start(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := w; j < alerts; j += workers {
+							a := &alert.Alert{
+								ID: fmt.Sprintf("a-%d-%d", i, j), Source: "portal",
+								Keywords: []string{"stocks"}, Subject: "quote update",
+								Urgency: alert.UrgencyNormal, Created: clk.Now(),
+							}
+							for {
+								err := h.Submit(fmt.Sprintf("user-%d", j%users), a)
+								var over *hub.OverloadError
+								if errors.As(err, &over) {
+									time.Sleep(over.RetryAfter)
+									continue
+								}
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								break
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if err := h.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				elapsed := time.Since(start)
+				if got := delivered.Load(); got != alerts {
+					b.Fatalf("delivered %d, want %d", got, alerts)
+				}
+				st := h.Stats()
+				b.ReportMetric(float64(alerts)/elapsed.Seconds(), "alerts/s")
+				peak := 0
+				for _, sh := range st.Shards {
+					if sh.PeakInFlight > peak {
+						peak = sh.PeakInFlight
+					}
+				}
+				b.ReportMetric(float64(peak), "peak-inflight/shard")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineEvaluate — the per-tenant classify→aggregate→filter
+// hot path with a mixed-case keyword, the case the hub's routing stage
+// hits on every alert. The aggregator's allocation-free case fold cuts
+// Evaluate from 2 allocs/op (keyword copy + per-lookup ToLower) to 1
+// (keyword copy only).
+func BenchmarkPipelineEvaluate(b *testing.B) {
+	p := mab.NewPipeline()
+	p.Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+	p.Aggregator.Map("Stocks", "Investment")
+	a := &alert.Alert{
+		ID: "x", Source: "portal", Keywords: []string{"Stocks"},
+		Urgency: alert.UrgencyNormal, Created: time.Unix(985597200, 0),
+	}
+	now := a.Created
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, v := p.Evaluate(a, now); v != mab.VerdictRoute {
+			b.Fatal(v)
+		}
 	}
 }
 

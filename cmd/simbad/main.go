@@ -15,7 +15,7 @@
 // Usage:
 //
 //	simbad [-hours N]
-//	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S]
+//	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
 package main
 
 import (
@@ -45,10 +45,11 @@ func main() {
 	shards := flag.Int("shards", 8, "hub: shard-table size")
 	alerts := flag.Int("alerts", 10000, "hub: alerts to submit")
 	window := flag.Duration("window", 2*time.Millisecond, "hub: group-commit window")
+	deliveryWindow := flag.Int("delivery-window", 0, "hub: in-flight deliveries per shard (0 = default, 1 = synchronous)")
 	seed := flag.Int64("seed", 1, "hub: RNG seed")
 	flag.Parse()
 	if *hubMode {
-		if err := runHub(*users, *shards, *alerts, *window, *seed); err != nil {
+		if err := runHub(*users, *shards, *alerts, *window, *deliveryWindow, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -172,8 +173,9 @@ func stamp(t time.Time) string { return t.Format("15:04:05") }
 // runHub hosts N tenants behind a K-way sharded hub and drives a
 // portal-style workload through it, printing the capacity figures the
 // hosted deployment is sized by: alerts/s, fsyncs per alert, commit
-// batch size, end-to-end latency, and admission rejects.
-func runHub(users, shards, alerts int, window time.Duration, seed int64) error {
+// batch size, the per-stage latency split (queue wait | route |
+// deliver), delivery-stage concurrency, and admission rejects.
+func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int, seed int64) error {
 	if users <= 0 || shards <= 0 || alerts <= 0 {
 		return fmt.Errorf("simbad: -users, -shards, and -alerts must be positive")
 	}
@@ -188,12 +190,13 @@ func runHub(users, shards, alerts int, window time.Duration, seed int64) error {
 	sink := hub.NewSimSink(rng.Fork("substrate"), shards,
 		dist.LogNormal{Mu: -1.4, Sigma: 0.5}, 0.01) // median ≈ 250ms substrate delay
 	h, err := hub.New(hub.Config{
-		Clock:        clk,
-		Sink:         sink,
-		WALPath:      filepath.Join(tmp, "hub.wal"),
-		Shards:       shards,
-		CommitWindow: window,
-		RNG:          rng,
+		Clock:          clk,
+		Sink:           sink,
+		WALPath:        filepath.Join(tmp, "hub.wal"),
+		Shards:         shards,
+		CommitWindow:   window,
+		DeliveryWindow: deliveryWindow,
+		RNG:            rng,
 	})
 	if err != nil {
 		return err
@@ -267,13 +270,20 @@ func runHub(users, shards, alerts int, window time.Duration, seed int64) error {
 	fmt.Printf("WAL: %d appends over %d fsyncs — %.1f records/fsync, %.2f fsyncs/alert\n",
 		st.Appends, st.Syncs, st.MeanBatch, float64(st.Syncs)/float64(alerts))
 	lat := h.Latency().Summarize()
-	fmt.Printf("routing latency: mean %v, p50 %v, p99 %v (n=%d)\n",
+	fmt.Printf("end-to-end latency: mean %v, p50 %v, p99 %v (n=%d)\n",
 		lat.Mean.Round(time.Microsecond), lat.P50.Round(time.Microsecond),
 		lat.P99.Round(time.Microsecond), lat.Count)
-	fmt.Printf("delivered %d, simulated drops %d, overload rejects %d, duplicates %d\n",
-		sink.Delivered(), sink.Dropped(), c.Get("rejects-overload"), c.Get("duplicates"))
+	stages := h.Stages()
+	fmt.Printf("stage split: queue-wait p50 %v / p99 %v | route p50 %v / p99 %v | deliver p50 %v / p99 %v\n",
+		stages.QueueWait.P50.Round(time.Microsecond), stages.QueueWait.P99.Round(time.Microsecond),
+		stages.Route.P50.Round(time.Microsecond), stages.Route.P99.Round(time.Microsecond),
+		stages.Deliver.P50.Round(time.Microsecond), stages.Deliver.P99.Round(time.Microsecond))
+	fmt.Printf("delivered %d, simulated drops %d, delivery retries %d, undeliverable %d, overload rejects %d, duplicates %d\n",
+		sink.Delivered(), sink.Dropped(), c.Get("delivery-retries"), c.Get("undeliverable"),
+		c.Get("rejects-overload"), c.Get("duplicates"))
 	for _, s := range st.Shards {
-		fmt.Printf("  shard %d: peak queue depth %d\n", s.Shard, s.PeakDepth)
+		fmt.Printf("  shard %d: peak queue depth %d, peak in-flight deliveries %d\n",
+			s.Shard, s.PeakDepth, s.PeakInFlight)
 	}
 	return nil
 }

@@ -1,0 +1,209 @@
+package hub
+
+import (
+	"errors"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/dist"
+	"simba/internal/faults"
+	"simba/internal/metrics"
+	"simba/internal/plog"
+	"sync"
+)
+
+// deliveryJob is one routed alert handed from the shard loop to the
+// delivery stage.
+type deliveryJob struct {
+	env    envelope
+	routed *alert.Alert
+	handed time.Time // when routing handed the job off, for the deliver-stage latency split
+}
+
+// userQueue is one tenant's pending deliveries, owned by at most one
+// worker goroutine at a time so per-user FIFO is structural, not
+// incidental: a user's next delivery starts only after the previous one
+// (including its retries and WAL mark) has finished.
+type userQueue struct {
+	jobs []deliveryJob
+}
+
+// deliveryStage is one shard's asynchronous delivery pipeline. The
+// shard loop stays on routing and WAL work; deliveries — the calls into
+// slow external substrates — run here under a bounded in-flight window,
+// so one stalled Sink.Deliver no longer serializes every tenant hashed
+// to the shard. Ordering contract: deliveries for the same user are
+// chained; deliveries for different users overlap up to the window.
+type deliveryStage struct {
+	h   *Hub
+	sh  *shard
+	rng *dist.RNG // forked per stage: backoff jitter never contends across shards
+
+	// window bounds concurrently executing deliveries (not queued work,
+	// which the shard's admission depth already bounds).
+	window chan struct{}
+
+	inflight metrics.Gauge
+
+	mu    sync.Mutex
+	users map[string]*userQueue
+	wg    sync.WaitGroup // live user workers; quiesced by Drain, abandoned by Kill
+}
+
+func newDeliveryStage(h *Hub, sh *shard) *deliveryStage {
+	return &deliveryStage{
+		h:      h,
+		sh:     sh,
+		rng:    sh.rng.Fork("delivery"),
+		window: make(chan struct{}, h.cfg.DeliveryWindow),
+		users:  make(map[string]*userQueue),
+	}
+}
+
+// submit hands a routed alert to the stage. Called only from the shard
+// loop, so jobs for one user arrive in routing order; it never blocks —
+// backlog is bounded by the shard's admission depth, whose reservation
+// is held until the delivery completes.
+func (d *deliveryStage) submit(job deliveryJob) {
+	user := job.env.buddy.user
+	d.mu.Lock()
+	if q, ok := d.users[user]; ok {
+		// The user has a live worker: chain behind it (per-user FIFO).
+		q.jobs = append(q.jobs, job)
+		d.mu.Unlock()
+		return
+	}
+	q := &userQueue{jobs: []deliveryJob{job}}
+	d.users[user] = q
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.runUser(user, q)
+}
+
+// runUser drains one tenant's chain, job by job. The worker exits when
+// the chain empties (deleting the queue under the lock, so a later
+// submit starts a fresh worker) or when the hub is killed.
+func (d *deliveryStage) runUser(user string, q *userQueue) {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		if len(q.jobs) == 0 {
+			delete(d.users, user)
+			d.mu.Unlock()
+			return
+		}
+		job := q.jobs[0]
+		q.jobs = q.jobs[1:]
+		d.mu.Unlock()
+		if !d.acquire() {
+			return // killed: the undone entries replay from the WAL
+		}
+		d.perform(job)
+		d.release()
+	}
+}
+
+// acquire claims one in-flight slot, honoring a kill both before and
+// after the wait so a crashed hub stops deterministically.
+func (d *deliveryStage) acquire() bool {
+	select {
+	case <-d.h.killed:
+		return false
+	default:
+	}
+	select {
+	case <-d.h.killed:
+		return false
+	case d.window <- struct{}{}:
+	}
+	select {
+	case <-d.h.killed:
+		<-d.window
+		return false
+	default:
+	}
+	d.inflight.Inc()
+	return true
+}
+
+func (d *deliveryStage) release() {
+	d.inflight.Dec()
+	<-d.window
+}
+
+// perform executes one delivery: call the sink, retry transient
+// failures with capped exponential backoff + jitter, and only then
+// stage the WAL DONE record. A kill abandons the job before the mark,
+// leaving the entry for the next incarnation to replay.
+func (d *deliveryStage) perform(job deliveryJob) {
+	h := d.h
+	b := job.env.buddy
+	for attempt := 1; ; attempt++ {
+		err := h.cfg.Sink.Deliver(d.sh.id, b.user, job.routed)
+		if err == nil {
+			b.delivered.Add(1)
+			h.counters.Add1("delivered")
+			break
+		}
+		if attempt >= h.cfg.DeliveryMaxAttempts {
+			h.counters.Add1("undeliverable")
+			break
+		}
+		h.counters.Add1("delivery-retries")
+		if !d.backoff(attempt) {
+			return // killed mid-backoff
+		}
+	}
+	h.deliverLat.Observe(h.cfg.Clock.Since(job.handed))
+	if f := h.cfg.CrashBeforeMark; f != nil && f.Active() {
+		h.crash(b.user, job.env.alert)
+		return
+	}
+	select {
+	case <-h.killed:
+		return // killed after delivery: the duplicate on replay is the dedup contract's case
+	default:
+	}
+	if err := h.wal.MarkProcessedAsync(job.env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
+		h.counters.Add1("mark-failed")
+	}
+	h.latency.Observe(h.cfg.Clock.Since(job.env.at))
+	d.sh.release()
+}
+
+// backoff sleeps before retry attempt+1: exponential in the attempt
+// number, capped, with multiplicative jitter from the stage's forked
+// RNG so colliding retries across tenants decorrelate. Returns false if
+// the hub was killed during the wait.
+func (d *deliveryStage) backoff(attempt int) bool {
+	h := d.h
+	delay := h.cfg.DeliveryBackoff
+	for i := 1; i < attempt && delay < h.cfg.DeliveryBackoffCap; i++ {
+		delay *= 2
+	}
+	if delay > h.cfg.DeliveryBackoffCap {
+		delay = h.cfg.DeliveryBackoffCap
+	}
+	// Full jitter over the upper half: [delay/2, delay).
+	delay = delay/2 + time.Duration(d.rng.Float64()*float64(delay/2))
+	t := h.cfg.Clock.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-h.killed:
+		return false
+	case <-t.C():
+		return true
+	}
+}
+
+// crash is the fault-injection kill switch, shared across delivery
+// workers so exactly one journals the injected fault even when several
+// deliveries complete inside the same crash window.
+func (h *Hub) crash(user string, a *alert.Alert) {
+	h.crashOnce.Do(func() {
+		h.journal(faults.KindFaultInjected,
+			"hub killed between delivery and mark-processed (user %s, alert %s)",
+			user, a.DedupKey())
+		h.Kill()
+	})
+}

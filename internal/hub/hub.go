@@ -12,6 +12,12 @@
 //     acknowledged (Submit never returns nil) unless it is durable, and
 //     a durable alert is never silently dropped — it is either routed
 //     and marked processed or replayed by the next incarnation.
+//   - Routing and delivery are pipelined: the shard loop evaluates the
+//     tenant pipeline and stages WAL work, while Sink.Deliver runs in a
+//     per-shard delivery stage — a bounded in-flight window of workers
+//     with capped, jittered retry backoff. Alerts for the same user are
+//     chained (per-user FIFO), alerts for different users overlap, so a
+//     slow delivery stalls one tenant's chain instead of the shard.
 //   - All shards append to one shared group-commit WAL
 //     (plog.GroupLog): RECV and DONE records from every tenant are
 //     batched into a single fsync per commit window instead of one per
@@ -56,6 +62,18 @@ const (
 	// DefaultLatencyReservoir bounds the end-to-end latency recorder's
 	// memory on million-alert runs.
 	DefaultLatencyReservoir = 4096
+	// DefaultDeliveryWindow bounds each shard's concurrently executing
+	// deliveries.
+	DefaultDeliveryWindow = 32
+	// DefaultDeliveryMaxAttempts is the per-alert delivery attempt cap
+	// (1 initial try + retries) before the alert counts as
+	// undeliverable.
+	DefaultDeliveryMaxAttempts = 4
+	// DefaultDeliveryBackoff is the base retry backoff; attempt n waits
+	// roughly backoff·2ⁿ⁻¹ with jitter, capped.
+	DefaultDeliveryBackoff = time.Millisecond
+	// DefaultDeliveryBackoffCap caps the exponential retry backoff.
+	DefaultDeliveryBackoffCap = 100 * time.Millisecond
 )
 
 // keySep joins the tenant ID and the alert's dedup key inside WAL
@@ -128,10 +146,25 @@ type Config struct {
 	// LatencyReservoir caps the routing-latency recorder's sample
 	// memory; zero means DefaultLatencyReservoir.
 	LatencyReservoir int
+	// DeliveryWindow bounds each shard's concurrently executing
+	// deliveries; zero means DefaultDeliveryWindow. One serializes
+	// deliveries per shard — the pre-pipeline synchronous behavior,
+	// kept as the benchmark baseline.
+	DeliveryWindow int
+	// DeliveryMaxAttempts caps delivery attempts per alert (initial try
+	// plus retries); zero means DefaultDeliveryMaxAttempts.
+	DeliveryMaxAttempts int
+	// DeliveryBackoff is the base retry backoff (exponential per
+	// attempt, jittered); zero means DefaultDeliveryBackoff.
+	DeliveryBackoff time.Duration
+	// DeliveryBackoffCap caps the exponential backoff; zero means
+	// DefaultDeliveryBackoffCap.
+	DeliveryBackoffCap time.Duration
 	// CrashBeforeMark is a fault-injection point: when the flag is
-	// active, a shard that has just routed an alert kills the whole hub
-	// before marking the alert processed — the paper's
-	// crash-between-routing-and-marking window. Optional.
+	// active, a delivery worker that has just executed a delivery kills
+	// the whole hub before marking the alert processed — the paper's
+	// crash-between-routing-and-marking window, now inside the
+	// asynchronous delivery stage. Optional.
 	CrashBeforeMark *faults.Flag
 }
 
@@ -170,6 +203,7 @@ type Hub struct {
 	accepting atomic.Bool
 	killed    chan struct{}
 	killOnce  sync.Once
+	crashOnce sync.Once
 	stopOnce  sync.Once
 	stopped   chan struct{}
 	closeErr  error
@@ -177,6 +211,12 @@ type Hub struct {
 
 	counters *metrics.CounterSet
 	latency  *metrics.Recorder
+	// Per-stage latency split: time in the shard inbound queue, pipeline
+	// evaluation on the shard loop, and handoff → delivery completion
+	// (chain/window wait + sink attempts + backoff).
+	queueWait  *metrics.Recorder
+	routeLat   *metrics.Recorder
+	deliverLat *metrics.Recorder
 }
 
 // New validates the config and opens the hub's WAL. Call AddUser for
@@ -200,6 +240,21 @@ func New(cfg Config) (*Hub, error) {
 	if cfg.LatencyReservoir <= 0 {
 		cfg.LatencyReservoir = DefaultLatencyReservoir
 	}
+	if cfg.DeliveryWindow <= 0 {
+		cfg.DeliveryWindow = DefaultDeliveryWindow
+	}
+	if cfg.DeliveryMaxAttempts <= 0 {
+		cfg.DeliveryMaxAttempts = DefaultDeliveryMaxAttempts
+	}
+	if cfg.DeliveryBackoff <= 0 {
+		cfg.DeliveryBackoff = DefaultDeliveryBackoff
+	}
+	if cfg.DeliveryBackoffCap <= 0 {
+		cfg.DeliveryBackoffCap = DefaultDeliveryBackoffCap
+	}
+	if cfg.DeliveryBackoffCap < cfg.DeliveryBackoff {
+		cfg.DeliveryBackoffCap = cfg.DeliveryBackoff
+	}
 	if cfg.RNG == nil {
 		cfg.RNG = dist.NewRNG(1)
 	}
@@ -211,17 +266,22 @@ func New(cfg Config) (*Hub, error) {
 		return nil, fmt.Errorf("hub: opening WAL: %w", err)
 	}
 	h := &Hub{
-		cfg:      cfg,
-		wal:      wal,
-		users:    make(map[string]*Buddy),
-		killed:   make(chan struct{}),
-		stopped:  make(chan struct{}),
-		counters: &metrics.CounterSet{},
-		latency:  metrics.NewReservoir(cfg.LatencyReservoir),
+		cfg:        cfg,
+		wal:        wal,
+		users:      make(map[string]*Buddy),
+		killed:     make(chan struct{}),
+		stopped:    make(chan struct{}),
+		counters:   &metrics.CounterSet{},
+		latency:    metrics.NewReservoir(cfg.LatencyReservoir),
+		queueWait:  metrics.NewReservoir(cfg.LatencyReservoir),
+		routeLat:   metrics.NewReservoir(cfg.LatencyReservoir),
+		deliverLat: metrics.NewReservoir(cfg.LatencyReservoir),
 	}
 	h.shards = make([]*shard, cfg.Shards)
 	for i := range h.shards {
-		h.shards[i] = newShard(i, cfg.QueueDepth, cfg.RNG.Fork(fmt.Sprintf("hub-shard-%d", i)))
+		sh := newShard(i, cfg.QueueDepth, cfg.RNG.Fork(fmt.Sprintf("hub-shard-%d", i)))
+		sh.delivery = newDeliveryStage(h, sh)
+		h.shards[i] = sh
 	}
 	return h, nil
 }
@@ -402,45 +462,42 @@ func (h *Hub) run(sh *shard) {
 	}
 }
 
-// process performs the per-alert work a personal buddy would: evaluate
-// the tenant's pipeline, deliver through the sink, then durably mark
-// the WAL entry processed. The crash window between routing and
-// marking is exactly the one the paper's timestamp-dedup contract
-// covers.
+// process is the routing stage: evaluate the tenant's pipeline on the
+// shard loop, then either finish the alert in place (reject/filter
+// verdicts never touch the sink) or hand it to the shard's asynchronous
+// delivery stage. The shard loop never calls Sink.Deliver, so a slow
+// delivery stalls only its own user's chain — not every tenant hashed
+// to the shard.
 func (h *Hub) process(sh *shard, env envelope) {
-	defer sh.release()
+	dequeued := h.cfg.Clock.Now()
+	h.queueWait.Observe(dequeued.Sub(env.at))
 	b := env.buddy
-	category, verdict := b.pipe.Evaluate(env.alert, h.cfg.Clock.Now())
+	category, verdict := b.pipe.Evaluate(env.alert, dequeued)
+	h.routeLat.Observe(h.cfg.Clock.Since(dequeued))
 	switch verdict {
 	case mab.VerdictReject:
 		b.rejected.Add(1)
 		h.counters.Add1("rejected")
+		h.finish(sh, env)
 	case mab.VerdictFilter:
 		b.filtered.Add(1)
 		h.counters.Add1("filtered")
+		h.finish(sh, env)
 	default:
 		routed := env.alert.Clone()
 		routed.Keywords = []string{category}
-		if err := h.cfg.Sink.Deliver(sh.id, b.user, routed); err != nil {
-			h.counters.Add1("undeliverable")
-		} else {
-			b.delivered.Add(1)
-			h.counters.Add1("delivered")
-		}
 		b.routed.Add(1)
 		h.counters.Add1("routed")
+		sh.delivery.submit(deliveryJob{env: env, routed: routed, handed: h.cfg.Clock.Now()})
 	}
-	if f := h.cfg.CrashBeforeMark; f != nil && f.Active() {
-		h.journal(faults.KindFaultInjected,
-			"hub killed between routing and mark-processed (user %s, alert %s)",
-			b.user, env.alert.DedupKey())
-		h.Kill()
-		return
-	}
-	// Async mark: the DONE record joins the next group commit without
-	// stalling the shard loop for a full commit window. Losing an
-	// unflushed DONE only causes a replay, which the dedup contract
-	// covers; Drain/Close still flush every staged record.
+}
+
+// finish durably completes an alert that needs no delivery: stage the
+// WAL DONE record into the next group commit and release the admission
+// slot. Losing an unflushed DONE only causes a replay, which the dedup
+// contract covers; Drain/Close still flush every staged record.
+func (h *Hub) finish(sh *shard, env envelope) {
+	defer sh.release()
 	if err := h.wal.MarkProcessedAsync(env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
 		h.counters.Add1("mark-failed")
 	}
@@ -448,10 +505,12 @@ func (h *Hub) process(sh *shard, env envelope) {
 }
 
 // Kill abruptly terminates the hub, simulating a crash: admission stops
-// immediately and shard loops abandon their queues (queued alerts stay
-// unprocessed in the WAL for the next incarnation to replay). Teardown
-// completes asynchronously — wait on Stopped() before reopening the WAL
-// path. Kill is safe to call from inside a shard loop (the
+// immediately, shard loops abandon their queues, and the delivery stage
+// abandons its in-flight window (delivered-but-unmarked alerts stay
+// unprocessed in the WAL for the next incarnation to replay — the
+// documented duplicate of the dedup contract). Teardown completes
+// asynchronously — wait on Stopped() before reopening the WAL path.
+// Kill is safe to call from inside a shard loop or delivery worker (the
 // fault-injection path does exactly that).
 func (h *Hub) Kill() {
 	h.killOnce.Do(func() {
@@ -465,17 +524,34 @@ func (h *Hub) Kill() {
 // flushed and closed).
 func (h *Hub) Stopped() <-chan struct{} { return h.stopped }
 
-// shutdown waits for the loops and closes the WAL. Runs at most once.
+// shutdown waits for the loops, quiesces the delivery stages (unless
+// killed, in which case in-flight deliveries are abandoned), and closes
+// the WAL. Runs at most once.
 func (h *Hub) shutdown() {
 	h.stopOnce.Do(func() {
 		h.loops.Wait()
+		select {
+		case <-h.killed:
+			// Crash semantics: do not wait for delivery workers — they
+			// observe the kill and abandon; the WAL replays their undone
+			// entries. A worker racing past the kill check hits the
+			// closed WAL and ErrClosed is tolerated.
+		default:
+			// Graceful drain: the shard loops have exited, so no new
+			// jobs can reach the stages; wait for every in-flight and
+			// chained delivery to complete and stage its DONE record.
+			for _, sh := range h.shards {
+				sh.delivery.wg.Wait()
+			}
+		}
 		h.closeErr = h.wal.Close()
 		close(h.stopped)
 	})
 }
 
 // Drain gracefully shuts the hub down: admission stops with
-// ErrNotAccepting, every shard finishes its queue, and the WAL is
+// ErrNotAccepting, every shard finishes its queue, the delivery stages
+// complete their in-flight and chained deliveries, and the WAL is
 // flushed and closed.
 func (h *Hub) Drain() error {
 	h.accepting.Store(false)
@@ -489,18 +565,42 @@ func (h *Hub) Drain() error {
 
 // Counters returns the hub-level counters: received, delivered, routed,
 // rejected, filtered, duplicates, rejects-overload, replayed,
-// tombstoned, undeliverable.
+// tombstoned, undeliverable, delivery-retries.
 func (h *Hub) Counters() *metrics.CounterSet { return h.counters }
 
-// Latency returns the end-to-end routing latency recorder
+// Latency returns the end-to-end latency recorder
 // (admission → marked processed), reservoir-sampled.
 func (h *Hub) Latency() *metrics.Recorder { return h.latency }
+
+// StageLatencies is the per-stage latency split of the hub's pipeline.
+type StageLatencies struct {
+	// QueueWait is admission → dequeued by the shard loop.
+	QueueWait metrics.Summary
+	// Route is the pipeline evaluation on the shard loop.
+	Route metrics.Summary
+	// Deliver is handoff → delivery completion: per-user chain wait,
+	// window wait, sink attempts, and retry backoff.
+	Deliver metrics.Summary
+}
+
+// Stages summarizes the per-stage latency split.
+func (h *Hub) Stages() StageLatencies {
+	return StageLatencies{
+		QueueWait: h.queueWait.Summarize(),
+		Route:     h.routeLat.Summarize(),
+		Deliver:   h.deliverLat.Summarize(),
+	}
+}
 
 // ShardStat is one shard's observability snapshot.
 type ShardStat struct {
 	Shard     int
-	Depth     int // current queued + in-admission alerts
+	Depth     int // current queued + in-admission + in-delivery alerts
 	PeakDepth int
+	// InFlight / PeakInFlight count concurrently executing deliveries
+	// in the shard's delivery stage (bounded by DeliveryWindow).
+	InFlight     int
+	PeakInFlight int
 }
 
 // Stats is a point-in-time snapshot of the hub's health.
@@ -511,9 +611,12 @@ type Stats struct {
 	Syncs   int64 // fsyncs issued
 	// MeanBatch is Appends/Syncs — the group-commit amplification.
 	MeanBatch float64
+	// InFlight is the current hub-wide count of executing deliveries.
+	InFlight int64
 }
 
-// Stats snapshots queue depths and WAL commit statistics.
+// Stats snapshots queue depths, delivery in-flight gauges, and WAL
+// commit statistics.
 func (h *Hub) Stats() Stats {
 	s := Stats{
 		Users:   h.Users(),
@@ -524,10 +627,14 @@ func (h *Hub) Stats() Stats {
 		s.MeanBatch = float64(s.Appends) / float64(s.Syncs)
 	}
 	for _, sh := range h.shards {
+		inflight := sh.delivery.inflight.Load()
+		s.InFlight += inflight
 		s.Shards = append(s.Shards, ShardStat{
-			Shard:     sh.id,
-			Depth:     int(sh.depth.Load()),
-			PeakDepth: int(sh.peak.Load()),
+			Shard:        sh.id,
+			Depth:        int(sh.depth.Load()),
+			PeakDepth:    int(sh.peak.Load()),
+			InFlight:     int(inflight),
+			PeakInFlight: int(sh.delivery.inflight.Peak()),
 		})
 	}
 	return s

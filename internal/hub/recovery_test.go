@@ -16,31 +16,50 @@ import (
 )
 
 // countingSink records per-(user, key) delivery counts across hub
-// incarnations and can gate the first delivery until the test is ready.
+// incarnations. With a hold channel, every delivery blocks until the
+// channel is closed, and each Deliver call signals arrived before
+// blocking — so a test can park a known set of deliveries inside the
+// delivery window, arm a fault, and release them all at once.
 type countingSink struct {
-	gate chan struct{} // first delivery blocks until closed; nil = open
+	hold    chan struct{} // nil = open
+	arrived chan struct{} // buffered; one signal per Deliver entry
 
 	mu     sync.Mutex
-	gated  bool
 	counts map[string]int
 }
 
-func newCountingSink(gate chan struct{}) *countingSink {
-	return &countingSink{gate: gate, gated: gate != nil, counts: make(map[string]int)}
+func newCountingSink(hold chan struct{}) *countingSink {
+	return &countingSink{
+		hold:    hold,
+		arrived: make(chan struct{}, 1024),
+		counts:  make(map[string]int),
+	}
 }
 
 func (s *countingSink) Deliver(shard int, user string, a *alert.Alert) error {
-	s.mu.Lock()
-	first := s.gated
-	s.gated = false
-	s.mu.Unlock()
-	if first {
-		<-s.gate
+	select {
+	case s.arrived <- struct{}{}:
+	default:
+	}
+	if s.hold != nil {
+		<-s.hold
 	}
 	s.mu.Lock()
 	s.counts[user+"/"+a.DedupKey()]++
 	s.mu.Unlock()
 	return nil
+}
+
+// waitArrivals blocks until n deliveries have entered the sink.
+func (s *countingSink) waitArrivals(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-s.arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d deliveries reached the sink", i, n)
+		}
+	}
 }
 
 func (s *countingSink) count(user, key string) int {
@@ -49,22 +68,48 @@ func (s *countingSink) count(user, key string) int {
 	return s.counts[user+"/"+key]
 }
 
+// waitTotal blocks until n deliveries have completed. Kill abandons
+// in-flight deliveries without waiting for them (Stopped() can fire
+// while a worker is still inside the sink), so tests asserting
+// pre-crash counts must quiesce the sink explicitly.
+func (s *countingSink) waitTotal(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		total := 0
+		for _, c := range s.counts {
+			total += c
+		}
+		s.mu.Unlock()
+		if total >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink saw %d deliveries, want %d", total, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestHubCrashBetweenRoutingAndMark kills the hub in the window the
-// paper's dedup contract covers — after an alert is routed but before
-// its DONE record lands — then restarts it on the same WAL and checks
-// that every user's unprocessed alerts are replayed exactly once. The
-// routed-but-unmarked alert is delivered twice with an identical
-// DedupKey (the receiver-side duplicate the timestamp contract
-// detects); everything else is delivered exactly once and nothing is
-// lost.
+// paper's dedup contract covers — now *inside the asynchronous delivery
+// stage*: each user's first delivery is parked in the sink (inside the
+// in-flight window), the fault is armed, and the deliveries are
+// released. The first to complete kills the hub before any DONE record
+// lands, so every logged alert is replayed by the next incarnation; the
+// delivered-but-unmarked alerts (one per user — per-user FIFO means
+// only the head of each chain was in flight) are the documented
+// duplicates the timestamp contract detects. Everything else is
+// delivered exactly once and nothing is lost.
 func TestHubCrashBetweenRoutingAndMark(t *testing.T) {
 	const users, perUser = 4, 3
 	walPath := filepath.Join(t.TempDir(), "hub.wal")
 	clk := clock.NewReal()
 	journal := &faults.Journal{}
 	crash := faults.NewFlag("hub-crash-before-mark")
-	gate := make(chan struct{})
-	sink := newCountingSink(gate)
+	hold := make(chan struct{})
+	sink := newCountingSink(hold)
 
 	cfg := Config{
 		Clock: clk, Sink: sink, WALPath: walPath,
@@ -80,8 +125,9 @@ func TestHubCrashBetweenRoutingAndMark(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Submit everything while the first delivery is gated, so the whole
-	// workload is durably logged and queued when the crash fires.
+	// Submit everything while the sink holds every delivery, so the
+	// whole workload is durably logged — and each user's first alert is
+	// parked inside the delivery window — when the crash fires.
 	var keys []string // "user/dedupKey", submission order
 	for i := 0; i < users*perUser; i++ {
 		user := fmt.Sprintf("user-%d", i%users)
@@ -91,10 +137,13 @@ func TestHubCrashBetweenRoutingAndMark(t *testing.T) {
 		}
 		keys = append(keys, user+"/"+a.DedupKey())
 	}
-	// Arm the fault and let the first alert through: it is routed, then
-	// the hub dies before MarkProcessed.
+	// Per-user FIFO: exactly one in-flight delivery per user; the rest
+	// of each chain waits behind it.
+	sink.waitArrivals(t, users)
+	// Arm the fault and release the parked deliveries: each completes
+	// its sink call, then dies before MarkProcessed.
 	crash.Set(true, clk.Now())
-	close(gate)
+	close(hold)
 	select {
 	case <-h1.Stopped():
 	case <-time.After(10 * time.Second):
@@ -106,12 +155,24 @@ func TestHubCrashBetweenRoutingAndMark(t *testing.T) {
 	if err := h1.Submit("user-0", portalAlert(999, clk.Now())); !errors.Is(err, ErrNotAccepting) {
 		t.Fatalf("submit to killed hub = %v, want ErrNotAccepting", err)
 	}
-	if got := sink.count("user-0", keys2dedup(keys[0])); got != 1 {
-		t.Fatalf("pre-crash deliveries of first alert = %d, want 1", got)
+	// Kill abandons the in-flight window: let the released sink calls
+	// finish before reading counts.
+	sink.waitTotal(t, users)
+	// Pre-crash, exactly the head of each user's chain was delivered.
+	for i, uk := range keys {
+		want := 0
+		if i < users {
+			want = 1
+		}
+		user, key, _ := cut(uk)
+		if got := sink.count(user, key); got != want {
+			t.Fatalf("pre-crash deliveries of alert %d (%s) = %d, want %d", i, uk, got, want)
+		}
 	}
 
 	// Restart on the same WAL, fault cleared.
 	crash.Set(false, clk.Now())
+	sink.hold = nil
 	cfg.Sink = sink
 	h2, err := New(cfg)
 	if err != nil {
@@ -125,20 +186,20 @@ func TestHubCrashBetweenRoutingAndMark(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Every logged alert was unprocessed at the crash (the first was
-	// routed but unmarked), so each is replayed exactly once.
+	// Every logged alert was unprocessed at the crash (no DONE record
+	// landed), so each is replayed exactly once.
 	if got := h2.Counters().Get("replayed"); got != users*perUser {
 		t.Fatalf("replayed = %d, want %d", got, users*perUser)
 	}
 	if got := journal.Count(faults.KindReplay); got != users*perUser {
 		t.Fatalf("replay journal entries = %d, want %d", got, users*perUser)
 	}
-	// The routed-but-unmarked alert is the one duplicate: delivered
-	// twice under the same DedupKey. Every other alert is delivered
-	// exactly once.
+	// The delivered-but-unmarked alerts (each user's first) are the
+	// duplicates: delivered twice under the same DedupKey. Every other
+	// alert is delivered exactly once.
 	for i, uk := range keys {
 		want := 1
-		if i == 0 {
+		if i < users {
 			want = 2
 		}
 		user, key, _ := cut(uk)
@@ -165,8 +226,8 @@ func TestHubCrashBetweenRoutingAndMark(t *testing.T) {
 func TestHubRestartTombstonesOrphans(t *testing.T) {
 	walPath := filepath.Join(t.TempDir(), "hub.wal")
 	clk := clock.NewReal()
-	gate := make(chan struct{})
-	sink := newCountingSink(gate)
+	hold := make(chan struct{})
+	sink := newCountingSink(hold)
 	crash := faults.NewFlag("crash")
 	h1, err := New(Config{Clock: clk, Sink: sink, WALPath: walPath, Shards: 1, CrashBeforeMark: crash})
 	if err != nil {
@@ -183,8 +244,9 @@ func TestHubRestartTombstonesOrphans(t *testing.T) {
 	if err := h1.Submit("ghost", portalAlert(1, clk.Now())); err != nil {
 		t.Fatal(err)
 	}
+	sink.waitArrivals(t, 1)
 	crash.Set(true, clk.Now())
-	close(gate)
+	close(hold)
 	<-h1.Stopped()
 
 	// Restart without re-registering "ghost".
@@ -223,9 +285,4 @@ func cut(uk string) (user, key string, ok bool) {
 		}
 	}
 	return uk, "", false
-}
-
-func keys2dedup(uk string) string {
-	_, key, _ := cut(uk)
-	return key
 }

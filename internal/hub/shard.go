@@ -28,6 +28,10 @@ type shard struct {
 	q   chan envelope
 	rng *dist.RNG // forked per shard; simulated substrates draw from it
 
+	// delivery is the shard's asynchronous delivery stage: the loop
+	// routes, the stage delivers. Wired by Hub.New.
+	delivery *deliveryStage
+
 	depth atomic.Int64
 	peak  atomic.Int64
 

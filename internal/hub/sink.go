@@ -34,8 +34,32 @@ type SimSink struct {
 	dropped   atomic.Int64
 	simulated *metrics.Recorder
 
+	// The duplicate-audit map is striped by key hash: one global mutex
+	// would re-serialize exactly the deliveries the pipelined hub runs
+	// in parallel, hiding hub speedups behind sink contention.
+	stripes [sinkStripes]sinkStripe
+}
+
+// sinkStripes is the audit-map stripe count; a power of two so the
+// stripe pick is a mask, comfortably above any realistic shard ×
+// delivery-window concurrency.
+const sinkStripes = 64
+
+type sinkStripe struct {
 	mu     sync.Mutex
-	perKey map[string]int // DedupKey → delivery count (duplicate audit)
+	perKey map[string]int // audit key → delivery count (duplicate audit)
+	_      [40]byte       // pad to a cache line so stripes don't false-share
+}
+
+// stripeOf picks the stripe owning an audit key (inline FNV-1a: the
+// hash/fnv digest would allocate on every delivery).
+func (s *SimSink) stripeOf(key string) *sinkStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.stripes[h&(sinkStripes-1)]
 }
 
 // NewSimSink builds a substrate for the given shard count. latency may
@@ -45,7 +69,9 @@ func NewSimSink(rng *dist.RNG, shards int, latency dist.Dist, dropP float64) *Si
 		latency:   latency,
 		dropP:     dropP,
 		simulated: metrics.NewReservoir(DefaultLatencyReservoir),
-		perKey:    make(map[string]int),
+	}
+	for i := range s.stripes {
+		s.stripes[i].perKey = make(map[string]int)
 	}
 	for i := 0; i < shards; i++ {
 		s.rngs = append(s.rngs, rng.Fork(fmt.Sprintf("sim-sink-shard-%d", i)))
@@ -63,9 +89,11 @@ func (s *SimSink) Deliver(shard int, user string, a *alert.Alert) error {
 		s.dropped.Add(1)
 		return fmt.Errorf("hub: simulated delivery failure for %s", user)
 	}
-	s.mu.Lock()
-	s.perKey[user+keySep+a.DedupKey()]++
-	s.mu.Unlock()
+	key := user + keySep + a.DedupKey()
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	st.perKey[key]++
+	st.mu.Unlock()
 	s.delivered.Add(1)
 	return nil
 }
@@ -83,21 +111,26 @@ func (s *SimSink) SimulatedLatency() metrics.Summary { return s.simulated.Summar
 // delivered — the receiver-side duplicate audit the paper's timestamp
 // contract enables.
 func (s *SimSink) DeliveryCount(user, dedupKey string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.perKey[user+keySep+dedupKey]
+	key := user + keySep + dedupKey
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.perKey[key]
 }
 
 // Duplicates returns how many deliveries were repeats of an already
-// delivered (user, key) pair.
+// delivered (user, key) pair, merged across the stripes.
 func (s *SimSink) Duplicates() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, c := range s.perKey {
-		if c > 1 {
-			n += c - 1
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, c := range st.perKey {
+			if c > 1 {
+				n += c - 1
+			}
 		}
+		st.mu.Unlock()
 	}
 	return n
 }

@@ -204,16 +204,67 @@ func (g *Aggregator) Map(keyword, category string) {
 }
 
 // Aggregate assigns the alert's personal category: the first keyword
-// with a mapping wins; otherwise the fallback category.
+// with a mapping wins; otherwise the fallback category. Matching is
+// case-insensitive (the mapping is lowercased at Map time) without a
+// per-lookup strings.ToLower allocation: already-lowercase keywords hit
+// the map directly, and mixed-case ASCII keywords are folded into a
+// stack buffer whose map lookup the compiler keeps allocation-free.
 func (g *Aggregator) Aggregate(keywords []string) string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+	if len(g.mapping) == 0 {
+		return g.fallback
+	}
+	var buf [64]byte
 	for _, k := range keywords {
-		if cat, ok := g.mapping[strings.ToLower(k)]; ok {
-			return cat
+		if cat, ok := g.mapping[k]; ok {
+			return cat // already-lowercase fast path
+		}
+		folded, kind := foldASCII(buf[:0], k)
+		switch kind {
+		case foldIdentical:
+			// Lowercase ASCII already missed above; next keyword.
+		case foldChanged:
+			if cat, ok := g.mapping[string(folded)]; ok {
+				return cat
+			}
+		default: // non-ASCII or oversized: rare full-Unicode path
+			if cat, ok := g.mapping[strings.ToLower(k)]; ok {
+				return cat
+			}
 		}
 	}
 	return g.fallback
+}
+
+// foldASCII outcomes.
+const (
+	foldIdentical = iota // s is lowercase ASCII: folding is a no-op
+	foldChanged          // folded holds the lowercased bytes
+	foldUnable           // non-ASCII or longer than the buffer
+)
+
+// foldASCII lower-cases an ASCII string into buf without allocating.
+func foldASCII(buf []byte, s string) ([]byte, int) {
+	if len(s) > cap(buf) {
+		return nil, foldUnable
+	}
+	changed := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return nil, foldUnable
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+			changed = true
+		}
+		buf = append(buf, c)
+	}
+	if !changed {
+		return nil, foldIdentical
+	}
+	return buf, foldChanged
 }
 
 // Filter implements alert filtering: per-category enable/disable and

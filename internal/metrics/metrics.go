@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -183,6 +184,37 @@ func (s Summary) String() string {
 }
 
 func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+// Gauge is a current-value instrument with a peak watermark — e.g. the
+// number of in-flight deliveries in a pipeline stage. The zero value is
+// ready to use and safe for concurrent use.
+type Gauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Inc adds one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.Add(1) }
+
+// Dec subtracts one and returns the new value.
+func (g *Gauge) Dec() int64 { return g.Add(-1) }
+
+// Add applies delta and returns the new value, updating the peak.
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.v.Add(delta)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return v
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Peak returns the highest value ever observed.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
 
 // CounterSet is a set of named monotonically increasing counters. The
 // zero value is ready to use.

@@ -233,3 +233,47 @@ func TestReservoirConcurrent(t *testing.T) {
 		t.Fatalf("Count = %d, want 80000", r.Count())
 	}
 }
+
+func TestGaugeTracksPeak(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Load(); got != 2 {
+		t.Fatalf("Load = %d, want 2", got)
+	}
+	if got := g.Peak(); got != 3 {
+		t.Fatalf("Peak = %d, want 3", got)
+	}
+	g.Add(-2)
+	if got := g.Load(); got != 0 {
+		t.Fatalf("Load after drain = %d, want 0", got)
+	}
+	if got := g.Peak(); got != 3 {
+		t.Fatalf("Peak after drain = %d, want 3", got)
+	}
+}
+
+func TestGaugeConcurrentPeakNeverBelowLoad(t *testing.T) {
+	var g Gauge
+	const workers, rounds = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Fatalf("Load after balanced inc/dec = %d, want 0", got)
+	}
+	if p := g.Peak(); p < 1 || p > workers {
+		t.Fatalf("Peak = %d, want in [1, %d]", p, workers)
+	}
+}
