@@ -16,6 +16,7 @@
 //
 //	simbad [-hours N]
 //	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
+//	       [-wal-segment-bytes B] [-wal-checkpoint-every R]
 package main
 
 import (
@@ -47,9 +48,11 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "hub: group-commit window")
 	deliveryWindow := flag.Int("delivery-window", 0, "hub: in-flight deliveries per shard (0 = default, 1 = synchronous)")
 	seed := flag.Int64("seed", 1, "hub: RNG seed")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "hub: WAL segment size before rotation (0 = 4MiB default)")
+	walCkptEvery := flag.Int64("wal-checkpoint-every", 0, "hub: WAL records between checkpoints (0 = default, <0 disables compaction)")
 	flag.Parse()
 	if *hubMode {
-		if err := runHub(*users, *shards, *alerts, *window, *deliveryWindow, *seed); err != nil {
+		if err := runHub(*users, *shards, *alerts, *window, *deliveryWindow, *seed, *walSegBytes, *walCkptEvery); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -175,7 +178,7 @@ func stamp(t time.Time) string { return t.Format("15:04:05") }
 // hosted deployment is sized by: alerts/s, fsyncs per alert, commit
 // batch size, the per-stage latency split (queue wait | route |
 // deliver), delivery-stage concurrency, and admission rejects.
-func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int, seed int64) error {
+func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int, seed, walSegBytes, walCkptEvery int64) error {
 	if users <= 0 || shards <= 0 || alerts <= 0 {
 		return fmt.Errorf("simbad: -users, -shards, and -alerts must be positive")
 	}
@@ -190,13 +193,15 @@ func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int,
 	sink := hub.NewSimSink(rng.Fork("substrate"), shards,
 		dist.LogNormal{Mu: -1.4, Sigma: 0.5}, 0.01) // median ≈ 250ms substrate delay
 	h, err := hub.New(hub.Config{
-		Clock:          clk,
-		Sink:           sink,
-		WALPath:        filepath.Join(tmp, "hub.wal"),
-		Shards:         shards,
-		CommitWindow:   window,
-		DeliveryWindow: deliveryWindow,
-		RNG:            rng,
+		Clock:              clk,
+		Sink:               sink,
+		WALPath:            filepath.Join(tmp, "hub.wal"),
+		Shards:             shards,
+		CommitWindow:       window,
+		DeliveryWindow:     deliveryWindow,
+		RNG:                rng,
+		WALSegmentBytes:    walSegBytes,
+		WALCheckpointEvery: walCkptEvery,
 	})
 	if err != nil {
 		return err
@@ -269,6 +274,12 @@ func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int,
 		alerts, elapsed.Round(time.Millisecond), float64(alerts)/elapsed.Seconds())
 	fmt.Printf("WAL: %d appends over %d fsyncs — %.1f records/fsync, %.2f fsyncs/alert\n",
 		st.Appends, st.Syncs, st.MeanBatch, float64(st.Syncs)/float64(alerts))
+	w := st.WAL
+	fmt.Printf("WAL segments: %d live (created %d, replayed %d at start), %d checkpoints (gen %d), %.1f MB compacted, %d records retired, %.1f MB on disk\n",
+		w.Segments, w.SegmentsCreated, w.SegmentsReplayed, w.Checkpoints, w.CheckpointGen,
+		float64(w.CompactedBytes)/(1<<20), w.Retired, float64(w.DiskBytes)/(1<<20))
+	fmt.Printf("fsync latency (µs): %s\n", h.WALFsyncLatency())
+	fmt.Printf("commit batch sizes (records): %s\n", h.WALBatchSizes())
 	lat := h.Latency().Summarize()
 	fmt.Printf("end-to-end latency: mean %v, p50 %v, p99 %v (n=%d)\n",
 		lat.Mean.Round(time.Microsecond), lat.P50.Round(time.Microsecond),

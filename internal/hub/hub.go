@@ -74,6 +74,11 @@ const (
 	DefaultDeliveryBackoff = time.Millisecond
 	// DefaultDeliveryBackoffCap caps the exponential retry backoff.
 	DefaultDeliveryBackoffCap = 100 * time.Millisecond
+	// DefaultWALCheckpointEvery triggers a WAL checkpoint + segment
+	// compaction after this many journal records — large enough that
+	// short runs never pay for a checkpoint, small enough that a
+	// long-lived hub's disk and restart time stay bounded.
+	DefaultWALCheckpointEvery = 65536
 )
 
 // keySep joins the tenant ID and the alert's dedup key inside WAL
@@ -138,6 +143,13 @@ type Config struct {
 	// CommitMaxBatch caps WAL lines per fsync; zero means
 	// DefaultCommitMaxBatch.
 	CommitMaxBatch int
+	// WALSegmentBytes caps the WAL's active segment before it rotates;
+	// zero means plog.DefaultSegmentBytes (4 MiB).
+	WALSegmentBytes int64
+	// WALCheckpointEvery triggers a background WAL checkpoint +
+	// compaction after this many journal records; zero means
+	// DefaultWALCheckpointEvery, negative disables checkpointing.
+	WALCheckpointEvery int64
 	// RNG seeds the per-shard forked RNGs handed to simulated
 	// substrates. Optional.
 	RNG *dist.RNG
@@ -258,9 +270,19 @@ func New(cfg Config) (*Hub, error) {
 	if cfg.RNG == nil {
 		cfg.RNG = dist.NewRNG(1)
 	}
+	switch {
+	case cfg.WALCheckpointEvery == 0:
+		cfg.WALCheckpointEvery = DefaultWALCheckpointEvery
+	case cfg.WALCheckpointEvery < 0:
+		cfg.WALCheckpointEvery = 0 // disable background compaction
+	}
 	wal, err := plog.OpenGroup(cfg.WALPath, plog.GroupOptions{
 		Window:   cfg.CommitWindow,
 		MaxBatch: cfg.CommitMaxBatch,
+		Log: plog.Options{
+			SegmentBytes:    cfg.WALSegmentBytes,
+			CheckpointEvery: cfg.WALCheckpointEvery,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hub: opening WAL: %w", err)
@@ -613,6 +635,9 @@ type Stats struct {
 	MeanBatch float64
 	// InFlight is the current hub-wide count of executing deliveries.
 	InFlight int64
+	// WAL is the journal's segmentation/compaction snapshot: live
+	// segments, checkpoints written, compacted bytes, retired records.
+	WAL plog.Stats
 }
 
 // Stats snapshots queue depths, delivery in-flight gauges, and WAL
@@ -622,6 +647,7 @@ func (h *Hub) Stats() Stats {
 		Users:   h.Users(),
 		Appends: h.wal.Appended(),
 		Syncs:   h.wal.Syncs(),
+		WAL:     h.wal.Stats(),
 	}
 	if s.Syncs > 0 {
 		s.MeanBatch = float64(s.Appends) / float64(s.Syncs)
@@ -645,6 +671,18 @@ func (h *Hub) WALSyncs() int64 { return h.wal.Syncs() }
 
 // WALAppends returns the number of records staged into the shared WAL.
 func (h *Hub) WALAppends() int64 { return h.wal.Appended() }
+
+// WALFsyncLatency returns the WAL's fsync-latency histogram
+// (microseconds per fsync).
+func (h *Hub) WALFsyncLatency() metrics.HistogramSnapshot { return h.wal.FsyncLatency() }
+
+// WALBatchSizes returns the group-commit batch-size histogram (journal
+// lines per fsync).
+func (h *Hub) WALBatchSizes() metrics.HistogramSnapshot { return h.wal.BatchSizes() }
+
+// CheckpointWAL forces a WAL checkpoint + segment compaction, as the
+// background compactor would at the WALCheckpointEvery threshold.
+func (h *Hub) CheckpointWAL() error { return h.wal.Checkpoint() }
 
 func (h *Hub) journal(kind faults.Kind, format string, args ...any) {
 	if h.cfg.Journal != nil {

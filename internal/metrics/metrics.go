@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"strings"
@@ -215,6 +216,96 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Peak returns the highest value ever observed.
 func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Histogram counts int64 observations in power-of-two buckets — cheap
+// enough for hot paths (fsync latencies, commit batch sizes) where a
+// full reservoir Recorder is overkill but a mean hides the tail. The
+// zero value is ready to use and safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [64]int64 // bucket i counts observations v with 2^(i-1) < v <= 2^i
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe adds one observation. Values <= 1 (including negatives) land
+// in the first bucket.
+func (h *Histogram) Observe(v int64) {
+	b := 0
+	if v > 1 {
+		b = 64 - bits.LeadingZeros64(uint64(v-1)) // ceil(log2(v))
+	}
+	h.mu.Lock()
+	h.counts[b]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramBucket is one non-empty bucket: Count observations were
+// <= Le (and greater than the previous bucket's Le).
+type HistogramBucket struct {
+	Le    int64
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	Buckets              []HistogramBucket // non-empty buckets, ascending
+}
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies out the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(1)
+		if i > 0 {
+			le = int64(1) << uint(i)
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// String renders the non-empty buckets compactly:
+// "n=42 mean=3.1 min=1 max=16 [<=1:2 <=4:30 <=16:10]".
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f min=%d max=%d [", s.Count, s.Mean(), s.Min, s.Max)
+	for i, bk := range s.Buckets {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "<=%d:%d", bk.Le, bk.Count)
+	}
+	b.WriteString("]")
+	return b.String()
+}
 
 // CounterSet is a set of named monotonically increasing counters. The
 // zero value is ready to use.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -275,5 +276,66 @@ func TestGaugeConcurrentPeakNeverBelowLoad(t *testing.T) {
 	}
 	if p := g.Peak(); p < 1 || p > workers {
 		t.Fatalf("Peak = %d, want in [1, %d]", p, workers)
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 5, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 || s.Min != -5 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got, want := s.Mean(), float64(-5+0+1+2+3+4+5+1000)/8; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	// Power-of-two upper bounds: <=1 holds {-5,0,1}, <=2 {2}, <=4 {3,4},
+	// <=8 {5}, <=1024 {1000}.
+	want := []HistogramBucket{{1, 3}, {2, 1}, {4, 2}, {8, 1}, {1024, 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, s.Buckets[i], want[i])
+		}
+	}
+	if str := s.String(); !strings.Contains(str, "n=8") || !strings.Contains(str, "<=1024:1") {
+		t.Fatalf("String() = %q", str)
+	}
+	if (HistogramSnapshot{}).String() != "no samples" {
+		t.Fatal("empty snapshot should render as no samples")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Min != 1 || s.Max != per {
+		t.Fatalf("Min/Max = %d/%d, want 1/%d", s.Min, s.Max, per)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
 	}
 }

@@ -1,0 +1,270 @@
+package plog
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Checkpoint format (line-oriented, like the journal):
+//
+//	CKPT 1 <gen> <watermark> <count> <total> <unix-nanos>
+//	RECV <unix-nanos> <key-base64> <payload-base64>   × count
+//	END <count>
+//
+// The header names the format version (1), the checkpoint generation,
+// the watermark (every segment with sequence <= watermark is fully
+// captured), the number of unprocessed records that follow, and the
+// all-time logged-alert total (so Len survives compaction). The END
+// trailer makes truncation detectable. A checkpoint is written to
+// <base>.ckpt.tmp, fsynced, renamed to <base>.ckpt.<gen>, and the
+// directory fsynced — so a crash at any point leaves either the
+// previous checkpoint intact or both: a half-written tmp file is
+// ignored by recovery, and segments are deleted only after the rename
+// is durable, which is what lets recovery fall back to the previous
+// checkpoint plus full segment replay.
+
+type ckptHeader struct {
+	gen       uint64
+	watermark uint64
+	count     int64
+	total     int64
+}
+
+// maybeCompactLocked schedules a background checkpoint once
+// CheckpointEvery records have been appended since the last one. The
+// caller holds l.mu; the send never blocks (a pending request already
+// covers this trigger).
+func (l *Log) maybeCompactLocked() {
+	if l.compactReq == nil || l.opts.CheckpointEvery <= 0 || l.sinceCkpt < l.opts.CheckpointEvery {
+		return
+	}
+	select {
+	case l.compactReq <- struct{}{}:
+	default:
+	}
+}
+
+// compactor is the background goroutine that turns checkpoint requests
+// into Checkpoint calls. Errors are sticky only for observability —
+// the journal itself stays correct without checkpoints, just unbounded.
+func (l *Log) compactor() {
+	defer close(l.compactDone)
+	for {
+		select {
+		case <-l.compactStop:
+			return
+		case <-l.compactReq:
+			_ = l.Checkpoint()
+		}
+	}
+}
+
+// Checkpoint writes a durable checkpoint of the unprocessed set and
+// compacts away every segment it covers, bounding disk and recovery
+// time to O(unprocessed + tail). Safe to call concurrently with
+// appends; concurrent Checkpoint calls serialize. Returns nil without
+// writing when nothing was appended since the last checkpoint.
+func (l *Log) Checkpoint() error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.sinceCkpt == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	// Rotate so the watermark covers every durable record: everything
+	// at or below activeSeq-1 is immutable and captured by the
+	// snapshot; appends racing the checkpoint land past the watermark
+	// and replay on recovery.
+	if l.activeSize > 0 {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	hdr := ckptHeader{
+		gen:       l.ckptGen + 1,
+		watermark: l.activeSeq - 1,
+		total:     l.total,
+	}
+	recs := make([]Record, 0, len(l.order)-l.processedLive)
+	for _, r := range l.order {
+		if !r.Processed {
+			recs = append(recs, r) // payload bytes are immutable once logged
+		}
+	}
+	hdr.count = int64(len(recs))
+	l.sinceCkpt = 0
+	prevGen := l.ckptGen
+	prevSeq := l.ckptSeq
+	l.mu.Unlock()
+
+	if err := l.writeCheckpoint(hdr, recs); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	l.ckptGen = hdr.gen
+	l.ckptSeq = hdr.watermark
+	l.oldestSeq = hdr.watermark + 1
+	l.liveSegs = int(l.activeSeq - hdr.watermark)
+	l.mu.Unlock()
+	l.ckptsWritten.Add(1)
+
+	// Only now — with the new checkpoint durable — delete the segments
+	// it covers, and prune checkpoints down to the new generation plus
+	// its fallback (the previous durable one).
+	for seq := prevSeq + 1; seq <= hdr.watermark; seq++ {
+		path := l.segPath(seq)
+		if fi, err := os.Stat(path); err == nil {
+			l.compactedBytes.Add(fi.Size())
+		}
+		os.Remove(path)
+	}
+	if _, ckpts, err := l.scanFiles(); err == nil {
+		for _, gen := range ckpts {
+			if gen != hdr.gen && gen != prevGen {
+				os.Remove(l.ckptPath(gen))
+			}
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint persists one checkpoint atomically: tmp file, fsync,
+// rename into place, directory fsync.
+func (l *Log) writeCheckpoint(hdr ckptHeader, recs []Record) error {
+	tmp := l.ckptTmpPath()
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("plog: creating checkpoint temp %s: %w", tmp, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	fmt.Fprintf(w, "CKPT 1 %d %d %d %d %d\n", hdr.gen, hdr.watermark, hdr.count, hdr.total, time.Now().UnixNano())
+	var buf []byte
+	for _, r := range recs {
+		buf = appendRecv(buf[:0], r.ReceivedAt.UnixNano(), r.Key, r.Payload)
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("plog: writing checkpoint: %w", err)
+		}
+	}
+	fmt.Fprintf(w, "END %d\n", hdr.count)
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("plog: flushing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("plog: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plog: closing checkpoint: %w", err)
+	}
+	final := l.ckptPath(hdr.gen)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plog: installing checkpoint %s: %w", final, err)
+	}
+	return l.syncDir()
+}
+
+// loadCheckpoint reads and fully validates one checkpoint file. Any
+// deviation — bad header, short record list, malformed record, missing
+// or mismatched END trailer, trailing garbage — rejects the file so
+// recovery falls back to the previous generation.
+func (l *Log) loadCheckpoint(path string) (ckptHeader, []Record, error) {
+	var hdr ckptHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return hdr, nil, fmt.Errorf("plog: checkpoint %s: truncated header", path)
+	}
+	var version int
+	if n, err := fmt.Sscanf(strings.TrimSuffix(line, "\n"), "CKPT %d %d %d %d %d",
+		&version, &hdr.gen, &hdr.watermark, &hdr.count, &hdr.total); n != 5 || err != nil || version != 1 {
+		return hdr, nil, fmt.Errorf("plog: checkpoint %s: bad header %q", path, line)
+	}
+	if hdr.count < 0 || hdr.total < hdr.count {
+		return hdr, nil, fmt.Errorf("plog: checkpoint %s: inconsistent counts", path)
+	}
+	recs := make([]Record, 0, hdr.count)
+	for i := int64(0); i < hdr.count; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return hdr, nil, fmt.Errorf("plog: checkpoint %s: truncated at record %d", path, i)
+		}
+		rec, err := parseCheckpointRecord(strings.TrimSuffix(line, "\n"))
+		if err != nil {
+			return hdr, nil, fmt.Errorf("plog: checkpoint %s record %d: %w", path, i, err)
+		}
+		recs = append(recs, rec)
+	}
+	line, err = r.ReadString('\n')
+	if err != nil {
+		return hdr, nil, fmt.Errorf("plog: checkpoint %s: missing END trailer", path)
+	}
+	var endCount int64
+	if n, err := fmt.Sscanf(strings.TrimSuffix(line, "\n"), "END %d", &endCount); n != 1 || err != nil || endCount != hdr.count {
+		return hdr, nil, fmt.Errorf("plog: checkpoint %s: bad END trailer %q", path, line)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return hdr, nil, fmt.Errorf("plog: checkpoint %s: trailing garbage", path)
+	}
+	return hdr, recs, nil
+}
+
+// parseCheckpointRecord parses one "RECV <nanos> <key> <payload>"
+// checkpoint line strictly (checkpoints are written atomically, so
+// unlike journal replay, any malformation invalidates the whole file).
+func parseCheckpointRecord(line string) (Record, error) {
+	var rec Record
+	rest, ok := strings.CutPrefix(line, "RECV ")
+	if !ok {
+		return rec, fmt.Errorf("not a RECV line")
+	}
+	ts, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return rec, fmt.Errorf("missing fields")
+	}
+	keyf, payf, ok := strings.Cut(rest, " ")
+	if !ok || strings.IndexByte(payf, ' ') >= 0 {
+		return rec, fmt.Errorf("wrong field count")
+	}
+	nanos, err := strconv.ParseInt(ts, 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad timestamp: %w", err)
+	}
+	key, err := base64.StdEncoding.DecodeString(keyf)
+	if err != nil {
+		return rec, fmt.Errorf("bad key: %w", err)
+	}
+	payload, err := base64.StdEncoding.DecodeString(payf)
+	if err != nil {
+		return rec, fmt.Errorf("bad payload: %w", err)
+	}
+	rec.Key = string(key)
+	rec.Payload = payload
+	rec.ReceivedAt = time.Unix(0, nanos).UTC()
+	return rec, nil
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"simba/internal/metrics"
 )
 
 // GroupLog layers group commit over a Log: concurrent appenders stage
@@ -22,11 +24,17 @@ import (
 // precedes B's in the journal, and a crash can lose only a suffix of
 // the final in-flight batch — which recovery truncates at the last
 // complete line (prefix durability).
+//
+// Batches are rotation-aware: the underlying segmented log rotates
+// *before* a batch that would overflow the active segment, never
+// inside it, so one batch (one fsync) always lands in one segment.
 type GroupLog struct {
 	log  *Log
 	opts GroupOptions
 
 	appended atomic.Int64
+
+	batchSizes *metrics.Histogram // journal lines per commit
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -35,6 +43,7 @@ type GroupLog struct {
 	closed   bool
 	failed   error // sticky: first batch-write failure poisons the log
 	done     chan struct{}
+	scratch  []byte // staging buffer reused across appends (guarded by mu)
 }
 
 // GroupOptions tune the commit policy.
@@ -47,26 +56,31 @@ type GroupOptions struct {
 	Window time.Duration
 	// MaxBatch caps the journal lines per commit. Zero means 1024.
 	MaxBatch int
+	// Log configures the underlying segmented journal (segment size,
+	// background checkpointing, in-memory sweep).
+	Log Options
 }
 
 // OpenGroup opens (creating if needed) a group-commit log at path,
-// rebuilding in-memory state from the journal exactly as Open does.
+// rebuilding in-memory state from the checkpoint + segments exactly as
+// Open does.
 func OpenGroup(path string, opts GroupOptions) (*GroupLog, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 1024
 	}
-	l, err := Open(path)
+	l, err := OpenWithOptions(path, opts.Log)
 	if err != nil {
 		return nil, err
 	}
-	g := &GroupLog{log: l, opts: opts, done: make(chan struct{})}
+	g := &GroupLog{log: l, opts: opts, done: make(chan struct{}), batchSizes: &metrics.Histogram{}}
 	g.cond = sync.NewCond(&g.mu)
 	go g.committer()
 	return g, nil
 }
 
 type groupBatch struct {
-	lines []string
+	buf   []byte // encoded journal lines, in staging order
+	lines int64
 	err   error
 	done  chan struct{}
 }
@@ -79,16 +93,16 @@ func (g *GroupLog) LogReceived(key string, payload []byte, at time.Time) error {
 	if key == "" {
 		return errors.New("plog: empty key")
 	}
-	return g.commit(func() (string, bool, error) {
-		return g.log.stageReceived(key, payload, at)
+	return g.commit(func(dst []byte) ([]byte, bool, error) {
+		return g.log.stageReceived(dst, key, payload, at)
 	})
 }
 
 // MarkProcessed durably records that the alert has been fully routed,
 // returning once the batch holding the DONE record has been fsynced.
 func (g *GroupLog) MarkProcessed(key string, at time.Time) error {
-	return g.commit(func() (string, bool, error) {
-		return g.log.stageProcessed(key, at)
+	return g.commit(func(dst []byte) ([]byte, bool, error) {
+		return g.log.stageProcessed(dst, key, at)
 	})
 }
 
@@ -100,14 +114,34 @@ func (g *GroupLog) MarkProcessed(key string, at time.Time) error {
 // duplicate. Shard loops use this so marking does not cost them a full
 // commit window per alert. Close still flushes every staged DONE.
 func (g *GroupLog) MarkProcessedAsync(key string, at time.Time) error {
-	return g.commitNoWait(func() (string, bool, error) {
-		return g.log.stageProcessed(key, at)
+	return g.commitNoWait(func(dst []byte) ([]byte, bool, error) {
+		return g.log.stageProcessed(dst, key, at)
 	})
+}
+
+// stageFn stages one record, appending its encoded journal line to dst.
+type stageFn func(dst []byte) (out []byte, fresh bool, err error)
+
+// stageLocked runs one staging function against the open batch,
+// encoding through g.scratch so no per-append line is allocated. The
+// caller holds g.mu. Returns the batch joined (nil when not fresh).
+func (g *GroupLog) stageLocked(stage stageFn) (*groupBatch, error) {
+	line, fresh, err := stage(g.scratch[:0])
+	g.scratch = line[:0]
+	if err != nil || !fresh {
+		return nil, err
+	}
+	b := g.openBatchLocked()
+	b.buf = append(b.buf, line...)
+	b.lines++
+	g.appended.Add(1)
+	g.cond.Signal()
+	return b, nil
 }
 
 // commitNoWait stages one record and joins a batch without waiting for
 // durability.
-func (g *GroupLog) commitNoWait(stage func() (line string, fresh bool, err error)) error {
+func (g *GroupLog) commitNoWait(stage stageFn) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
@@ -116,21 +150,12 @@ func (g *GroupLog) commitNoWait(stage func() (line string, fresh bool, err error
 	if g.failed != nil {
 		return g.failed
 	}
-	line, fresh, err := stage()
-	if err != nil {
-		return err
-	}
-	if fresh {
-		b := g.openBatchLocked()
-		b.lines = append(b.lines, line)
-		g.appended.Add(1)
-		g.cond.Signal()
-	}
-	return nil
+	_, err := g.stageLocked(stage)
+	return err
 }
 
 // commit stages one record, joins a batch, and waits for durability.
-func (g *GroupLog) commit(stage func() (line string, fresh bool, err error)) error {
+func (g *GroupLog) commit(stage stageFn) error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -141,18 +166,12 @@ func (g *GroupLog) commit(stage func() (line string, fresh bool, err error)) err
 		g.mu.Unlock()
 		return err
 	}
-	line, fresh, err := stage()
+	b, err := g.stageLocked(stage)
 	if err != nil {
 		g.mu.Unlock()
 		return err
 	}
-	var b *groupBatch
-	if fresh {
-		b = g.openBatchLocked()
-		b.lines = append(b.lines, line)
-		g.appended.Add(1)
-		g.cond.Signal()
-	} else {
+	if b == nil {
 		// No-op append (duplicate RECV or repeated DONE): the original
 		// record is either already durable or in a pending batch; wait
 		// for the youngest pending work, if any.
@@ -174,7 +193,7 @@ func (g *GroupLog) commit(stage func() (line string, fresh bool, err error)) err
 // openBatchLocked returns the batch new appends should join, starting a
 // new one when none is open or the tail is full. Caller holds g.mu.
 func (g *GroupLog) openBatchLocked() *groupBatch {
-	if n := len(g.queue); n > 0 && len(g.queue[n-1].lines) < g.opts.MaxBatch {
+	if n := len(g.queue); n > 0 && g.queue[n-1].lines < int64(g.opts.MaxBatch) {
 		return g.queue[n-1]
 	}
 	b := &groupBatch{done: make(chan struct{})}
@@ -204,7 +223,8 @@ func (g *GroupLog) committer() {
 		g.flushing = b
 		g.mu.Unlock()
 
-		err := g.log.appendBatch(b.lines)
+		err := g.log.appendBatch(b.buf, b.lines)
+		g.batchSizes.Observe(b.lines)
 
 		g.mu.Lock()
 		g.flushing = nil
@@ -217,7 +237,8 @@ func (g *GroupLog) committer() {
 	}
 }
 
-// Has reports whether key has been logged (possibly not yet durable).
+// Has reports whether key is resident (logged, possibly not yet
+// durable, and not yet retired by the sweep).
 func (g *GroupLog) Has(key string) bool { return g.log.Has(key) }
 
 // IsProcessed reports whether key has been marked processed.
@@ -227,10 +248,10 @@ func (g *GroupLog) IsProcessed(key string) bool { return g.log.IsProcessed(key) 
 // arrival order — the restart replay set.
 func (g *GroupLog) Unprocessed() []Record { return g.log.Unprocessed() }
 
-// Len returns the total number of logged alerts.
+// Len returns the all-time number of logged alerts.
 func (g *GroupLog) Len() int { return g.log.Len() }
 
-// Path returns the journal file path.
+// Path returns the journal base path.
 func (g *GroupLog) Path() string { return g.log.Path() }
 
 // Syncs returns the number of fsyncs issued since OpenGroup.
@@ -239,6 +260,19 @@ func (g *GroupLog) Syncs() int64 { return g.log.Syncs() }
 // Appended returns the number of journal lines staged through the
 // group-commit path; Appended()/Syncs() is the mean commit batch size.
 func (g *GroupLog) Appended() int64 { return g.appended.Load() }
+
+// Stats snapshots the underlying log's segmentation/compaction state.
+func (g *GroupLog) Stats() Stats { return g.log.Stats() }
+
+// Checkpoint forces a checkpoint + compaction of the underlying log.
+func (g *GroupLog) Checkpoint() error { return g.log.Checkpoint() }
+
+// FsyncLatency returns the fsync-latency histogram (microseconds).
+func (g *GroupLog) FsyncLatency() metrics.HistogramSnapshot { return g.log.FsyncLatency() }
+
+// BatchSizes returns the group-commit batch-size histogram (journal
+// lines per fsync).
+func (g *GroupLog) BatchSizes() metrics.HistogramSnapshot { return g.batchSizes.Snapshot() }
 
 // Close flushes every pending batch, waits for the committer to exit,
 // and closes the underlying journal. Further appends fail with

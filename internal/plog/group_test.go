@@ -240,7 +240,11 @@ func TestGroupCommitTornFinalBatchProperty(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		data, err := os.ReadFile(path)
+		// A crash tears only the tail of the *active* segment — earlier
+		// segments were fully fsynced before rotation retired them.
+		segs := segmentsOf(t, path)
+		tail := segs[len(segs)-1]
+		data, err := os.ReadFile(tail)
 		if err != nil {
 			t.Log(err)
 			return false
@@ -250,7 +254,7 @@ func TestGroupCommitTornFinalBatchProperty(t *testing.T) {
 			cut -= int(spec.CutBack) % (len(data) + 1)
 		}
 		torn := data[:cut]
-		if err := os.WriteFile(path, torn, 0o644); err != nil {
+		if err := os.WriteFile(tail, torn, 0o644); err != nil {
 			t.Log(err)
 			return false
 		}
@@ -261,12 +265,19 @@ func TestGroupCommitTornFinalBatchProperty(t *testing.T) {
 		}
 		defer re.Close()
 
-		// Expectation: exactly the complete lines of the prefix.
-		keep := torn
+		// Expectation: every line of the earlier segments plus exactly
+		// the complete lines of the torn tail's prefix.
+		var keep []byte
+		for _, seg := range segs[:len(segs)-1] {
+			d, err := os.ReadFile(seg)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			keep = append(keep, d...)
+		}
 		if i := strings.LastIndexByte(string(torn), '\n'); i >= 0 {
-			keep = torn[:i+1]
-		} else {
-			keep = nil
+			keep = append(keep, torn[:i+1]...)
 		}
 		wantRecv := strings.Count(string(keep), "RECV ")
 		wantDone := strings.Count(string(keep), "DONE ")

@@ -15,29 +15,86 @@
 //
 // Every append is fsynced — that is what makes the logging pessimistic
 // — and a torn final line (crash mid-write) is tolerated on recovery.
+//
+// The journal is *segmented* so that disk, memory, and restart time
+// amortize to O(unprocessed) instead of O(all-time): appends go to a
+// fixed-size active segment (<base>.NNNNNNNN.seg) that rotates at
+// Options.SegmentBytes; a background compactor periodically writes a
+// checkpoint file (<base>.ckpt.NNNNNNNN) holding only the unprocessed
+// records plus an all-time total, then deletes every segment the
+// checkpoint covers; processed records are retired from memory by a
+// periodic sweep. Recovery loads the newest valid checkpoint and
+// replays only the segments after its watermark, preserving the
+// per-segment prefix-durability and torn-tail truncation guarantees.
+// See segment.go for the segment lifecycle and checkpoint.go for the
+// checkpoint format and compactor.
 package plog
 
 import (
 	"bufio"
-	"encoding/base64"
 	"errors"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"simba/internal/metrics"
 )
 
 // Log errors.
 var (
 	// ErrUnknownKey indicates MarkProcessed was called for a key that
-	// was never logged.
+	// was never logged (or was already retired from memory by the
+	// sweep after being processed).
 	ErrUnknownKey = errors.New("plog: unknown key")
 	// ErrClosed indicates use after Close.
 	ErrClosed = errors.New("plog: log closed")
 )
+
+// Defaults for Options.
+const (
+	// DefaultSegmentBytes caps the active segment before rotation.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultSweepEvery is how many processed (tombstoned) records may
+	// accumulate in memory before a sweep retires them.
+	DefaultSweepEvery = 4096
+)
+
+// Options tune the segmented journal. The zero value gives a 4 MiB
+// segment size, in-memory sweeping every 4096 processed records, and
+// no background checkpointing (call Checkpoint explicitly, or set
+// CheckpointEvery).
+type Options struct {
+	// SegmentBytes caps the active segment: an append that would push
+	// it past this size rotates to a fresh segment first (one append
+	// or group-commit batch never spans a rotation). Zero means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// CheckpointEvery triggers a background checkpoint + compaction
+	// after this many journal records have been appended since the
+	// last checkpoint. Zero disables the background compactor
+	// (Checkpoint can still be called explicitly).
+	CheckpointEvery int64
+	// SweepEvery bounds how many processed records stay resident: once
+	// this many tombstones accumulate, a sweep drops them from the
+	// in-memory index (Has/IsProcessed then report false for them —
+	// safe, because a re-received retired alert merely replays into
+	// the downstream timestamp dedup). Zero means DefaultSweepEvery;
+	// negative disables sweeping (the pre-segmentation behavior).
+	SweepEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SweepEvery == 0 {
+		o.SweepEvery = DefaultSweepEvery
+	}
+	return o
+}
 
 // Record is one logged alert.
 type Record struct {
@@ -47,109 +104,175 @@ type Record struct {
 	Processed  bool
 }
 
-// Log is a pessimistic write-ahead log. It is safe for concurrent use:
-// concurrent Append callers (LogReceived / MarkProcessed) are
-// serialized under one mutex, so journal lines are written in the order
-// callers acquire it, each line is fsynced before its call returns, and
-// a call that returned before another began always precedes it in the
-// journal (the prefix-durability ordering the group-commit layer builds
-// on — see GroupLog).
+// Stats is a point-in-time snapshot of the log's segmentation,
+// compaction, and recovery state.
+type Stats struct {
+	// Total is the all-time number of logged alerts, including records
+	// retired from memory and compacted off disk (carried forward in
+	// each checkpoint header).
+	Total int64
+	// Live is the number of records currently resident in memory;
+	// Unprocessed of those are awaiting replay/processing.
+	Live        int
+	Unprocessed int
+	// Retired counts processed records the sweep dropped from memory.
+	Retired int64
+	// CorruptLines counts malformed journal lines skipped during
+	// replay (torn tails are truncated, not counted).
+	CorruptLines int64
+	// Segments is the number of on-disk segments (including the active
+	// one); ActiveSegment is the active segment's sequence number.
+	Segments      int
+	ActiveSegment uint64
+	// SegmentsCreated counts rotations since Open (plus the initial
+	// segment if it was created rather than reopened).
+	SegmentsCreated int64
+	// SegmentsReplayed is how many segments Open had to replay — the
+	// bounded-recovery figure of merit.
+	SegmentsReplayed int
+	// CheckpointGen is the generation of the newest durable
+	// checkpoint (0 = none); Checkpoints counts checkpoints written
+	// since Open; CompactedBytes counts segment bytes deleted.
+	CheckpointGen  uint64
+	Checkpoints    int64
+	CompactedBytes int64
+	// DiskBytes is the current on-disk footprint (segments plus the
+	// newest checkpoint).
+	DiskBytes int64
+}
+
+// Log is a pessimistic, segmented write-ahead log. It is safe for
+// concurrent use: concurrent Append callers (LogReceived /
+// MarkProcessed) are serialized under one mutex, so journal lines are
+// written in the order callers acquire it, each line is fsynced before
+// its call returns, and a call that returned before another began
+// always precedes it in the journal (the prefix-durability ordering
+// the group-commit layer builds on — see GroupLog).
 type Log struct {
 	mu     sync.Mutex
-	path   string
-	f      *os.File
+	base   string // base path; segments and checkpoints live alongside
+	dirf   *os.File
+	f      *os.File // active segment
+	opts   Options
 	closed bool
-	syncs  atomic.Int64
+
+	activeSeq  uint64 // sequence number of the active segment
+	activeSize int64
+	oldestSeq  uint64 // lowest on-disk segment sequence
+	liveSegs   int
+
+	syncs    atomic.Int64
+	fsyncLat *metrics.Histogram // microseconds per fsync
+
 	// index maps key → position in order; order preserves arrival.
 	index map[string]int
 	order []Record
+	// total is the all-time logged-alert count; retired counts
+	// processed records swept from memory; processedLive counts
+	// tombstones still resident (the sweep trigger).
+	total         int64
+	retired       int64
+	processedLive int
+	corrupt       int64
+
+	// Checkpoint state: gen of the newest durable checkpoint,
+	// watermark (segments <= ckptSeq are covered and deletable), and
+	// records appended since (the compaction trigger).
+	ckptGen   uint64
+	ckptSeq   uint64
+	sinceCkpt int64
+
+	segsCreated    atomic.Int64
+	ckptsWritten   atomic.Int64
+	compactedBytes atomic.Int64
+	replayedSegs   int
+
+	encBuf []byte // reusable per-append encode buffer (guarded by mu)
+
+	// Background compactor plumbing (nil when CheckpointEvery == 0).
+	ckptMu      sync.Mutex // serializes Checkpoint calls
+	compactReq  chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
 }
 
-// Open opens (creating if needed) the log at path and rebuilds its
-// in-memory state from the journal.
+// Open opens (creating if needed) the log at path with default Options
+// and rebuilds its in-memory state from the newest checkpoint plus the
+// segments after it.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("plog: opening %s: %w", path, err)
+	return OpenWithOptions(path, Options{})
+}
+
+// OpenWithOptions is Open with explicit segmentation/compaction
+// tuning. A legacy single-file journal at path is migrated in place to
+// segment 1.
+func OpenWithOptions(path string, opts Options) (*Log, error) {
+	l := &Log{
+		base:     path,
+		opts:     opts.withDefaults(),
+		index:    make(map[string]int),
+		fsyncLat: &metrics.Histogram{},
 	}
-	l := &Log{path: path, f: f, index: make(map[string]int)}
-	if err := l.replayJournal(); err != nil {
-		f.Close()
+	dirf, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil, fmt.Errorf("plog: opening directory of %s: %w", path, err)
+	}
+	l.dirf = dirf
+	if err := l.recover(); err != nil {
+		if l.f != nil {
+			l.f.Close()
+		}
+		dirf.Close()
 		return nil, err
+	}
+	if l.opts.CheckpointEvery > 0 {
+		l.compactReq = make(chan struct{}, 1)
+		l.compactStop = make(chan struct{})
+		l.compactDone = make(chan struct{})
+		go l.compactor()
 	}
 	return l, nil
 }
 
-// replayJournal scans the journal. A torn final line — a crash during
-// an append — is truncated away so subsequent appends start on a clean
-// line boundary.
-func (l *Log) replayJournal() error {
-	r := bufio.NewReader(l.f)
-	var goodBytes int64
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			// No trailing newline: torn tail. Leave goodBytes where it is.
-			break
-		}
-		goodBytes += int64(len(line))
-		line = strings.TrimSuffix(line, "\n")
-		if line == "" {
-			continue
-		}
-		fields := strings.Split(line, " ")
-		switch fields[0] {
-		case "RECV":
-			if len(fields) != 4 {
-				continue // torn or corrupt line: skip
-			}
-			nanos, err := strconv.ParseInt(fields[1], 10, 64)
-			if err != nil {
-				continue
-			}
-			key, err := base64.StdEncoding.DecodeString(fields[2])
-			if err != nil {
-				continue
-			}
-			payload, err := base64.StdEncoding.DecodeString(fields[3])
-			if err != nil {
-				continue
-			}
-			l.addReceivedLocked(string(key), payload, time.Unix(0, nanos).UTC())
-		case "DONE":
-			if len(fields) != 3 {
-				continue
-			}
-			key, err := base64.StdEncoding.DecodeString(fields[2])
-			if err != nil {
-				continue
-			}
-			if i, ok := l.index[string(key)]; ok {
-				l.order[i].Processed = true
-			}
-		default:
-			// Unknown record type: skip (forward compatibility).
-		}
-	}
-	if err := l.f.Truncate(goodBytes); err != nil {
-		return fmt.Errorf("plog: truncating torn tail of %s: %w", l.path, err)
-	}
-	if _, err := l.f.Seek(goodBytes, 0); err != nil {
-		return fmt.Errorf("plog: seeking %s: %w", l.path, err)
-	}
-	return nil
-}
-
+// addReceivedLocked records one received alert in memory, taking
+// ownership of payload. Callers pass a private copy when the bytes
+// came from outside.
 func (l *Log) addReceivedLocked(key string, payload []byte, at time.Time) {
 	if _, ok := l.index[key]; ok {
 		return // duplicate RECV: first wins
 	}
 	l.index[key] = len(l.order)
-	l.order = append(l.order, Record{
-		Key:        key,
-		Payload:    append([]byte(nil), payload...),
-		ReceivedAt: at,
-	})
+	l.order = append(l.order, Record{Key: key, Payload: payload, ReceivedAt: at})
+	l.total++
+}
+
+// markProcessedLocked tombstones one record, dropping its payload
+// immediately; the periodic sweep retires the tombstone itself.
+func (l *Log) markProcessedLocked(i int) {
+	l.order[i].Processed = true
+	l.order[i].Payload = nil
+	l.processedLive++
+}
+
+// maybeSweepLocked retires accumulated tombstones once SweepEvery of
+// them are resident, keeping memory O(unprocessed).
+func (l *Log) maybeSweepLocked() {
+	if l.opts.SweepEvery <= 0 || l.processedLive < l.opts.SweepEvery {
+		return
+	}
+	kept := make([]Record, 0, len(l.order)-l.processedLive)
+	for _, r := range l.order {
+		if !r.Processed {
+			kept = append(kept, r)
+		}
+	}
+	l.retired += int64(len(l.order) - len(kept))
+	l.order = kept
+	l.index = make(map[string]int, len(kept))
+	for i, r := range kept {
+		l.index[r.Key] = i
+	}
+	l.processedLive = 0
 }
 
 // LogReceived durably records an incoming alert before it is
@@ -167,14 +290,11 @@ func (l *Log) LogReceived(key string, payload []byte, at time.Time) error {
 	if _, ok := l.index[key]; ok {
 		return nil
 	}
-	line := fmt.Sprintf("RECV %d %s %s\n",
-		at.UnixNano(),
-		base64.StdEncoding.EncodeToString([]byte(key)),
-		base64.StdEncoding.EncodeToString(payload))
-	if err := l.append(line); err != nil {
+	l.encBuf = appendRecv(l.encBuf[:0], at.UnixNano(), key, payload)
+	if err := l.appendLocked(l.encBuf, 1); err != nil {
 		return err
 	}
-	l.addReceivedLocked(key, payload, at)
+	l.addReceivedLocked(key, append([]byte(nil), payload...), at)
 	return nil
 }
 
@@ -192,99 +312,103 @@ func (l *Log) MarkProcessed(key string, at time.Time) error {
 	if l.order[i].Processed {
 		return nil
 	}
-	line := fmt.Sprintf("DONE %d %s\n",
-		at.UnixNano(),
-		base64.StdEncoding.EncodeToString([]byte(key)))
-	if err := l.append(line); err != nil {
+	l.encBuf = appendDone(l.encBuf[:0], at.UnixNano(), key)
+	if err := l.appendLocked(l.encBuf, 1); err != nil {
 		return err
 	}
-	l.order[i].Processed = true
+	l.markProcessedLocked(i)
+	l.maybeSweepLocked()
 	return nil
 }
 
-// append writes and fsyncs one journal line. The caller holds l.mu.
-func (l *Log) append(line string) error {
-	if _, err := l.f.WriteString(line); err != nil {
-		return fmt.Errorf("plog: appending to %s: %w", l.path, err)
+// appendLocked writes and fsyncs buf (records complete journal lines)
+// to the active segment, rotating first if the append would overflow
+// it — so one write, and in particular one group-commit batch, never
+// spans a rotation fsync. The caller holds l.mu.
+func (l *Log) appendLocked(buf []byte, records int64) error {
+	if l.activeSize > 0 && l.activeSize+int64(len(buf)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
 	}
+	n, err := l.f.Write(buf)
+	if err != nil {
+		return fmt.Errorf("plog: appending to %s: %w", l.f.Name(), err)
+	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("plog: syncing %s: %w", l.path, err)
+		return fmt.Errorf("plog: syncing %s: %w", l.f.Name(), err)
 	}
+	l.fsyncLat.Observe(time.Since(start).Microseconds())
 	l.syncs.Add(1)
+	l.activeSize += int64(n)
+	l.sinceCkpt += records
+	l.maybeCompactLocked()
 	return nil
 }
 
-// appendBatch writes a group of journal lines with a single fsync — the
-// group-commit primitive. Lines land on disk in slice order; a crash
-// mid-write tears at most a suffix of the batch, which recovery
-// truncates at the last complete line.
-func (l *Log) appendBatch(lines []string) error {
+// appendBatch writes a group of journal records with a single fsync —
+// the group-commit primitive. Records land on disk in buf order; a
+// crash mid-write tears at most a suffix of the batch, which recovery
+// truncates at the last complete line. The whole batch lands in one
+// segment (rotation happens before the write, never inside it).
+func (l *Log) appendBatch(buf []byte, records int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	var b strings.Builder
-	for _, line := range lines {
-		b.WriteString(line)
-	}
-	if _, err := l.f.WriteString(b.String()); err != nil {
-		return fmt.Errorf("plog: appending batch to %s: %w", l.path, err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("plog: syncing %s: %w", l.path, err)
-	}
-	l.syncs.Add(1)
-	return nil
+	return l.appendLocked(buf, records)
 }
 
-// stageReceived records the alert in memory and returns the encoded
-// journal line for the caller to persist (via appendBatch). fresh is
-// false when the key was already logged. Used by GroupLog, which must
-// stage entries before their batch is durable.
-func (l *Log) stageReceived(key string, payload []byte, at time.Time) (line string, fresh bool, err error) {
+// stageReceived records the alert in memory and appends the encoded
+// journal line to dst, returning the grown buffer. fresh is false when
+// the key was already logged. Used by GroupLog, which must stage
+// entries before their batch is durable.
+func (l *Log) stageReceived(dst []byte, key string, payload []byte, at time.Time) (out []byte, fresh bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return "", false, ErrClosed
+		return dst, false, ErrClosed
 	}
 	if _, ok := l.index[key]; ok {
-		return "", false, nil
+		return dst, false, nil
 	}
-	line = fmt.Sprintf("RECV %d %s %s\n",
-		at.UnixNano(),
-		base64.StdEncoding.EncodeToString([]byte(key)),
-		base64.StdEncoding.EncodeToString(payload))
-	l.addReceivedLocked(key, payload, at)
-	return line, true, nil
+	dst = appendRecv(dst, at.UnixNano(), key, payload)
+	l.addReceivedLocked(key, append([]byte(nil), payload...), at)
+	return dst, true, nil
 }
 
 // stageProcessed is stageReceived's counterpart for DONE records.
-func (l *Log) stageProcessed(key string, at time.Time) (line string, fresh bool, err error) {
+func (l *Log) stageProcessed(dst []byte, key string, at time.Time) (out []byte, fresh bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return "", false, ErrClosed
+		return dst, false, ErrClosed
 	}
 	i, ok := l.index[key]
 	if !ok {
-		return "", false, fmt.Errorf("plog: mark processed %q: %w", key, ErrUnknownKey)
+		return dst, false, fmt.Errorf("plog: mark processed %q: %w", key, ErrUnknownKey)
 	}
 	if l.order[i].Processed {
-		return "", false, nil
+		return dst, false, nil
 	}
-	line = fmt.Sprintf("DONE %d %s\n",
-		at.UnixNano(),
-		base64.StdEncoding.EncodeToString([]byte(key)))
-	l.order[i].Processed = true
-	return line, true, nil
+	dst = appendDone(dst, at.UnixNano(), key)
+	l.markProcessedLocked(i)
+	l.maybeSweepLocked()
+	return dst, true, nil
 }
 
 // Syncs returns the number of fsyncs issued since Open — the figure of
 // merit group commit improves.
 func (l *Log) Syncs() int64 { return l.syncs.Load() }
 
-// Has reports whether key has been logged.
+// FsyncLatency returns the fsync-latency histogram (microseconds).
+func (l *Log) FsyncLatency() metrics.HistogramSnapshot { return l.fsyncLat.Snapshot() }
+
+// Has reports whether key is resident in the log's memory: logged and
+// not yet retired by the sweep (a retired key re-logs as a fresh
+// record, which downstream timestamp dedup discards).
 func (l *Log) Has(key string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -292,7 +416,8 @@ func (l *Log) Has(key string) bool {
 	return ok
 }
 
-// IsProcessed reports whether key has been marked processed.
+// IsProcessed reports whether key has been marked processed and is
+// still resident in memory.
 func (l *Log) IsProcessed(key string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -316,23 +441,86 @@ func (l *Log) Unprocessed() []Record {
 	return out
 }
 
-// Len returns the total number of logged alerts.
+// Len returns the all-time number of logged alerts, including records
+// retired from memory and compacted off disk.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.order)
+	return int(l.total)
 }
 
-// Path returns the journal file path.
-func (l *Log) Path() string { return l.path }
-
-// Close releases the file handle. Further appends fail with ErrClosed.
-func (l *Log) Close() error {
+// Stats snapshots the segmentation/compaction state.
+func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	s := Stats{
+		Total:            l.total,
+		Live:             len(l.order),
+		Unprocessed:      len(l.order) - l.processedLive,
+		Retired:          l.retired,
+		CorruptLines:     l.corrupt,
+		Segments:         l.liveSegs,
+		ActiveSegment:    l.activeSeq,
+		SegmentsCreated:  l.segsCreated.Load(),
+		SegmentsReplayed: l.replayedSegs,
+		CheckpointGen:    l.ckptGen,
+		Checkpoints:      l.ckptsWritten.Load(),
+		CompactedBytes:   l.compactedBytes.Load(),
+	}
+	for seq := l.oldestSeq; seq <= l.activeSeq; seq++ {
+		if fi, err := os.Stat(l.segPath(seq)); err == nil {
+			s.DiskBytes += fi.Size()
+		}
+	}
+	if l.ckptGen > 0 {
+		if fi, err := os.Stat(l.ckptPath(l.ckptGen)); err == nil {
+			s.DiskBytes += fi.Size()
+		}
+	}
+	return s
+}
+
+// Path returns the journal base path (segments and checkpoints are
+// derived from it).
+func (l *Log) Path() string { return l.base }
+
+// Close stops the background compactor and releases the file handles.
+// Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
-	return l.f.Close()
+	l.mu.Unlock()
+	if l.compactStop != nil {
+		close(l.compactStop)
+		<-l.compactDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.f.Close()
+	if derr := l.dirf.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// replayLines scans one journal stream, applying complete lines and
+// returning the byte length of the intact prefix (everything before a
+// torn final line). Replayed records count toward the compaction
+// trigger, so reopening with a long post-checkpoint tail schedules a
+// fresh checkpoint promptly.
+func (l *Log) replayLines(r *bufio.Reader) (goodBytes int64) {
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			// No trailing newline: torn tail. Leave goodBytes where it is.
+			return goodBytes
+		}
+		goodBytes += int64(len(line))
+		l.applyLine(line[:len(line)-1])
+		l.sinceCkpt++
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -19,6 +20,28 @@ func openTemp(t *testing.T) *Log {
 	}
 	t.Cleanup(func() { l.Close() })
 	return l
+}
+
+// segmentsOf returns the on-disk segment paths for base, ascending
+// (zero-padded sequence numbers sort lexically).
+func segmentsOf(t *testing.T, base string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(base + ".*.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// activeSegmentPath returns the highest-numbered (active) segment.
+func activeSegmentPath(t *testing.T, base string) string {
+	t.Helper()
+	segs := segmentsOf(t, base)
+	if len(segs) == 0 {
+		t.Fatalf("no segments for %s", base)
+	}
+	return segs[len(segs)-1]
 }
 
 var t0 = time.Date(2001, 3, 26, 9, 0, 0, 0, time.UTC)
@@ -130,8 +153,8 @@ func TestRecoveryToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	// Append a torn RECV line (crash mid-write).
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// Append a torn RECV line (crash mid-write) to the active segment.
+	f, err := os.OpenFile(activeSegmentPath(t, path), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,6 +205,11 @@ func TestRecoveryIgnoresGarbageLines(t *testing.T) {
 	if l.Len() != 1 || !l.Has("real") {
 		t.Fatalf("Len() = %d", l.Len())
 	}
+	// The malformed RECV/DONE lines (not the unknown BANANA record,
+	// which is forward-compatibility skip) are counted, not silent.
+	if got := l.Stats().CorruptLines; got != 4 {
+		t.Fatalf("CorruptLines = %d, want 4", got)
+	}
 }
 
 func TestClosedLogRejectsWrites(t *testing.T) {
@@ -223,9 +251,14 @@ func TestRecoveryProperty(t *testing.T) {
 		Key     uint8
 		Process bool
 	}
-	path := filepath.Join(t.TempDir(), "prop.plog")
 	f := func(ops []op) bool {
-		os.Remove(path)
+		// Fresh directory per run: segments and checkpoints live
+		// alongside the base path.
+		dir, err := os.MkdirTemp(t.TempDir(), "prop")
+		if err != nil {
+			return false
+		}
+		path := filepath.Join(dir, "prop.plog")
 		l, err := Open(path)
 		if err != nil {
 			return false

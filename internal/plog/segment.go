@@ -1,0 +1,333 @@
+package plog
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Segment naming: <base>.NNNNNNNN.seg, sequence numbers ascending from
+// 1 with no reuse. The highest-numbered segment is the active one; all
+// others are immutable. Checkpoints are <base>.ckpt.NNNNNNNN (see
+// checkpoint.go), written atomically via <base>.ckpt.tmp + rename.
+
+func (l *Log) segPath(seq uint64) string { return fmt.Sprintf("%s.%08d.seg", l.base, seq) }
+
+func (l *Log) ckptPath(gen uint64) string { return fmt.Sprintf("%s.ckpt.%08d", l.base, gen) }
+
+func (l *Log) ckptTmpPath() string { return l.base + ".ckpt.tmp" }
+
+// syncDir fsyncs the journal's parent directory so renames and newly
+// created segment files are durable.
+func (l *Log) syncDir() error {
+	if err := l.dirf.Sync(); err != nil {
+		return fmt.Errorf("plog: syncing directory of %s: %w", l.base, err)
+	}
+	return nil
+}
+
+// scanFiles lists the on-disk segment sequences and checkpoint
+// generations for this base path, both ascending.
+func (l *Log) scanFiles() (segs, ckpts []uint64, err error) {
+	entries, err := os.ReadDir(filepath.Dir(l.base))
+	if err != nil {
+		return nil, nil, fmt.Errorf("plog: scanning %s: %w", l.base, err)
+	}
+	prefix := filepath.Base(l.base) + "."
+	for _, e := range entries {
+		name := e.Name()
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		if numeric, ok := strings.CutSuffix(rest, ".seg"); ok {
+			if seq, err := strconv.ParseUint(numeric, 10, 64); err == nil && seq > 0 {
+				segs = append(segs, seq)
+			}
+			continue
+		}
+		if numeric, ok := strings.CutPrefix(rest, "ckpt."); ok && numeric != "tmp" {
+			if gen, err := strconv.ParseUint(numeric, 10, 64); err == nil && gen > 0 {
+				ckpts = append(ckpts, gen)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return segs, ckpts, nil
+}
+
+// recover rebuilds the in-memory state: migrate a legacy single-file
+// journal, load the newest valid checkpoint, delete segments the
+// checkpoint covers (a crash may have interrupted the compactor's
+// deletions), and replay only the segments past the watermark — the
+// bounded-recovery path. The final segment's torn tail, if any, is
+// truncated and the segment becomes the active one.
+func (l *Log) recover() error {
+	segs, ckpts, err := l.scanFiles()
+	if err != nil {
+		return err
+	}
+	// Legacy migration: a bare journal file at the base path becomes
+	// segment 1 (only when no segments exist yet — segments supersede).
+	if len(segs) == 0 {
+		if _, err := os.Stat(l.base); err == nil {
+			if err := os.Rename(l.base, l.segPath(1)); err != nil {
+				return fmt.Errorf("plog: migrating legacy journal %s: %w", l.base, err)
+			}
+			if err := l.syncDir(); err != nil {
+				return err
+			}
+			segs = []uint64{1}
+		}
+	}
+	os.Remove(l.ckptTmpPath()) // a torn checkpoint write; never valid
+
+	// Load the newest checkpoint that validates; fall back to the
+	// previous one on corruption (the compactor retains it, and only
+	// deletes segments once the *newer* checkpoint is durable, so the
+	// fallback still has every segment it needs).
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		hdr, recs, err := l.loadCheckpoint(l.ckptPath(ckpts[i]))
+		if err != nil {
+			// A torn or corrupt checkpoint is useless; drop it and fall
+			// back to the previous generation (its segments still exist
+			// — the compactor deletes segments only after the *newer*
+			// checkpoint is durable).
+			l.corrupt++
+			os.Remove(l.ckptPath(ckpts[i]))
+			continue
+		}
+		for _, r := range recs {
+			l.addReceivedLocked(r.Key, r.Payload, r.ReceivedAt)
+		}
+		l.total = hdr.total
+		l.ckptSeq = hdr.watermark
+		l.ckptGen = ckpts[i]
+		break
+	}
+
+	// Segments at or below the watermark are fully captured by the
+	// checkpoint; remove any the compactor didn't get to.
+	remaining := segs[:0]
+	for _, seq := range segs {
+		if seq <= l.ckptSeq {
+			if fi, err := os.Stat(l.segPath(seq)); err == nil {
+				l.compactedBytes.Add(fi.Size())
+			}
+			os.Remove(l.segPath(seq))
+			continue
+		}
+		remaining = append(remaining, seq)
+	}
+
+	// Replay the tail segments in order. Only the last one can have a
+	// torn tail (earlier segments were retired by a rotation, which
+	// happens only between fsynced appends) — but every segment is
+	// replayed with the same tolerant line scanner.
+	for i, seq := range remaining {
+		last := i == len(remaining)-1
+		if err := l.replaySegment(seq, last); err != nil {
+			return err
+		}
+		l.replayedSegs++
+	}
+	if len(remaining) > 0 {
+		l.oldestSeq = remaining[0]
+		l.liveSegs = len(remaining)
+		return nil
+	}
+	// No segments past the watermark: start a fresh one.
+	seq := l.ckptSeq + 1
+	if seq == 0 {
+		seq = 1
+	}
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("plog: creating segment %s: %w", l.segPath(seq), err)
+	}
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.activeSeq, l.activeSize = f, seq, 0
+	l.oldestSeq = seq
+	l.liveSegs = 1
+	l.segsCreated.Add(1)
+	return nil
+}
+
+// replaySegment replays one segment. The last (active) segment keeps
+// its handle for appends, with the torn tail truncated away so
+// subsequent appends start on a clean line boundary.
+func (l *Log) replaySegment(seq uint64, active bool) error {
+	path := l.segPath(seq)
+	flags := os.O_RDONLY
+	if active {
+		flags = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, flags, 0)
+	if err != nil {
+		return fmt.Errorf("plog: opening segment %s: %w", path, err)
+	}
+	goodBytes := l.replayLines(bufio.NewReader(f))
+	if !active {
+		return f.Close()
+	}
+	if err := f.Truncate(goodBytes); err != nil {
+		f.Close()
+		return fmt.Errorf("plog: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(goodBytes, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("plog: seeking %s: %w", path, err)
+	}
+	l.f, l.activeSeq, l.activeSize = f, seq, goodBytes
+	return nil
+}
+
+// rotateLocked retires the active segment and opens the next one. The
+// caller holds l.mu. The old segment's contents are already durable
+// (every append fsyncs), so rotation only needs the new file's name to
+// be durable before appends land in it.
+func (l *Log) rotateLocked() error {
+	seq := l.activeSeq + 1
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("plog: rotating to segment %s: %w", l.segPath(seq), err)
+	}
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("plog: closing retired segment: %w", err)
+	}
+	l.f, l.activeSeq, l.activeSize = f, seq, 0
+	l.liveSegs++
+	l.segsCreated.Add(1)
+	return nil
+}
+
+// applyLine parses and applies one journal line (without its trailing
+// newline). Malformed RECV/DONE lines are skipped and counted; unknown
+// record types are skipped silently (forward compatibility). Parsing
+// is allocation-light: fields are index-scanned with strings.Cut, so
+// no per-line []string is built.
+func (l *Log) applyLine(line string) {
+	if line == "" {
+		return
+	}
+	op, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		if op == "RECV" || op == "DONE" {
+			l.corrupt++
+		}
+		return
+	}
+	switch op {
+	case "RECV":
+		ts, rest, ok := strings.Cut(rest, " ")
+		if !ok {
+			l.corrupt++
+			return
+		}
+		keyf, payf, ok := strings.Cut(rest, " ")
+		if !ok || strings.IndexByte(payf, ' ') >= 0 {
+			l.corrupt++
+			return
+		}
+		nanos, err := strconv.ParseInt(ts, 10, 64)
+		if err != nil {
+			l.corrupt++
+			return
+		}
+		key, err := base64.StdEncoding.DecodeString(keyf)
+		if err != nil {
+			l.corrupt++
+			return
+		}
+		payload, err := base64.StdEncoding.DecodeString(payf)
+		if err != nil {
+			l.corrupt++
+			return
+		}
+		l.addReceivedLocked(string(key), payload, time.Unix(0, nanos).UTC())
+	case "DONE":
+		ts, keyf, ok := strings.Cut(rest, " ")
+		if !ok || strings.IndexByte(keyf, ' ') >= 0 {
+			l.corrupt++
+			return
+		}
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			l.corrupt++
+			return
+		}
+		key, err := base64.StdEncoding.DecodeString(keyf)
+		if err != nil {
+			l.corrupt++
+			return
+		}
+		if i, ok := l.index[string(key)]; ok {
+			if !l.order[i].Processed {
+				l.markProcessedLocked(i)
+			}
+		}
+	default:
+		// Unknown record type: skip (forward compatibility).
+	}
+}
+
+// Journal-line encoders: append-based, so the hot path reuses one
+// buffer instead of allocating fmt.Sprintf + EncodeToString strings
+// per line.
+
+const b64alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// appendBase64 appends the standard (padded) base64 encoding of src to
+// dst without intermediate allocations. Generic over string/[]byte so
+// keys (strings) encode without a []byte conversion copy.
+func appendBase64[T ~string | ~[]byte](dst []byte, src T) []byte {
+	n := len(src)
+	i := 0
+	for ; i+3 <= n; i += 3 {
+		v := uint32(src[i])<<16 | uint32(src[i+1])<<8 | uint32(src[i+2])
+		dst = append(dst, b64alphabet[v>>18], b64alphabet[v>>12&63], b64alphabet[v>>6&63], b64alphabet[v&63])
+	}
+	switch n - i {
+	case 1:
+		v := uint32(src[i]) << 16
+		dst = append(dst, b64alphabet[v>>18], b64alphabet[v>>12&63], '=', '=')
+	case 2:
+		v := uint32(src[i])<<16 | uint32(src[i+1])<<8
+		dst = append(dst, b64alphabet[v>>18], b64alphabet[v>>12&63], b64alphabet[v>>6&63], '=')
+	}
+	return dst
+}
+
+// appendRecv appends "RECV <nanos> <key-b64> <payload-b64>\n" to dst.
+func appendRecv(dst []byte, nanos int64, key string, payload []byte) []byte {
+	dst = append(dst, "RECV "...)
+	dst = strconv.AppendInt(dst, nanos, 10)
+	dst = append(dst, ' ')
+	dst = appendBase64(dst, key)
+	dst = append(dst, ' ')
+	dst = appendBase64(dst, payload)
+	return append(dst, '\n')
+}
+
+// appendDone appends "DONE <nanos> <key-b64>\n" to dst.
+func appendDone(dst []byte, nanos int64, key string) []byte {
+	dst = append(dst, "DONE "...)
+	dst = strconv.AppendInt(dst, nanos, 10)
+	dst = append(dst, ' ')
+	dst = appendBase64(dst, key)
+	return append(dst, '\n')
+}

@@ -1,0 +1,296 @@
+package plog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fill appends n received alerts keyed k0..k(n-1), marking every key
+// processed for which keep(i) is false.
+func fill(t *testing.T, l *Log, n int, keep func(i int) bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		if err := l.LogReceived(key, []byte("payload-"+key), t0.Add(time.Duration(i)*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		if !keep(i) {
+			if err := l.MarkProcessed(key, t0.Add(time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSegmentRotationAndReplay forces rotations with a tiny segment cap
+// and checks that recovery replays every segment in order.
+func TestSegmentRotationAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.plog")
+	l, err := OpenWithOptions(path, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 50, func(i int) bool { return i%2 == 0 })
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("SegmentBytes=256 with 100 appends produced only %d segments", st.Segments)
+	}
+	if got := len(segmentsOf(t, path)); got != st.Segments {
+		t.Fatalf("on-disk segments = %d, Stats says %d", got, st.Segments)
+	}
+	l.Close()
+
+	re, err := OpenWithOptions(path, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rst := re.Stats()
+	if rst.SegmentsReplayed != st.Segments {
+		t.Fatalf("replayed %d segments, want %d", rst.SegmentsReplayed, st.Segments)
+	}
+	if re.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", re.Len())
+	}
+	un := re.Unprocessed()
+	if len(un) != 25 {
+		t.Fatalf("Unprocessed = %d, want 25", len(un))
+	}
+	for j, rec := range un {
+		want := fmt.Sprintf("k%04d", 2*j)
+		if rec.Key != want || string(rec.Payload) != "payload-"+want {
+			t.Fatalf("Unprocessed[%d] = %q/%q, want %q", j, rec.Key, rec.Payload, want)
+		}
+	}
+}
+
+// TestCheckpointCompactsSegments checks the core compaction contract:
+// after a checkpoint, covered segments are gone, disk is bounded, and a
+// reopen sees exactly the same logical state.
+func TestCheckpointCompactsSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.plog")
+	l, err := OpenWithOptions(path, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 60, func(i int) bool { return i >= 55 }) // only the last 5 stay unprocessed
+	before := l.Stats()
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.CheckpointGen != 1 || st.Checkpoints != 1 {
+		t.Fatalf("checkpoint state = gen %d / %d written", st.CheckpointGen, st.Checkpoints)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("segments after compaction = %d, want 1 (fresh active)", st.Segments)
+	}
+	if st.CompactedBytes == 0 {
+		t.Fatal("CompactedBytes = 0 after compaction")
+	}
+	if st.DiskBytes >= before.DiskBytes {
+		t.Fatalf("disk grew across compaction: %d -> %d", before.DiskBytes, st.DiskBytes)
+	}
+	// Idempotent when nothing new was appended.
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Checkpoints; got != 1 {
+		t.Fatalf("no-op checkpoint still wrote a file (%d)", got)
+	}
+	l.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 60 {
+		t.Fatalf("Len after compacted reopen = %d, want 60", re.Len())
+	}
+	un := re.Unprocessed()
+	if len(un) != 5 || un[0].Key != "k0055" || un[4].Key != "k0059" {
+		t.Fatalf("Unprocessed after compacted reopen = %+v", un)
+	}
+	if rs := re.Stats().SegmentsReplayed; rs > 1 {
+		t.Fatalf("reopen replayed %d segments, want <= 1", rs)
+	}
+}
+
+// TestBoundedRecovery is the headline property: with background
+// checkpointing on, recovery work stays O(unprocessed + tail) no matter
+// how many alerts have flowed through the log.
+func TestBoundedRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bounded.plog")
+	opts := Options{SegmentBytes: 1024, CheckpointEvery: 200, SweepEvery: 64}
+	l, err := OpenWithOptions(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	fill(t, l, n, func(i int) bool { return i >= n-3 })
+	// The compactor runs in the background; force one last checkpoint so
+	// the bound is deterministic, then verify it actually compacted.
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Checkpoints == 0 || st.CompactedBytes == 0 {
+		t.Fatalf("compaction never ran: %+v", st)
+	}
+	if st.Retired == 0 {
+		t.Fatalf("sweep never retired processed records: %+v", st)
+	}
+	if st.Live > 2*opts.SweepEvery+3 {
+		t.Fatalf("resident records = %d, want O(SweepEvery)", st.Live)
+	}
+	l.Close()
+
+	re, err := OpenWithOptions(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rst := re.Stats()
+	if rst.SegmentsReplayed > 3 {
+		t.Fatalf("bounded recovery replayed %d segments after %d alerts", rst.SegmentsReplayed, n)
+	}
+	if re.Len() != n {
+		t.Fatalf("Len survived compaction wrong: %d, want %d", re.Len(), n)
+	}
+	un := re.Unprocessed()
+	if len(un) != 3 || un[0].Key != fmt.Sprintf("k%04d", n-3) {
+		t.Fatalf("Unprocessed after bounded recovery = %+v", un)
+	}
+	// The log keeps working after a checkpointed reopen.
+	if err := re.LogReceived("post", []byte("p"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.MarkProcessed(fmt.Sprintf("k%04d", n-1), t0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptCheckpointFallsBack simulates a crash mid-checkpoint: a
+// leftover tmp file plus a torn "newer" checkpoint whose covered
+// segments were NOT yet deleted (deletion is ordered after checkpoint
+// durability). Recovery must discard both and recover everything from
+// the previous checkpoint + full segment replay.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fallback.plog")
+	l, err := OpenWithOptions(path, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 20, func(i int) bool { return i%4 == 0 })
+	if err := l.Checkpoint(); err != nil { // durable gen 1
+		t.Fatal(err)
+	}
+	fill2 := func(i int) bool { return i%3 == 0 }
+	for i := 20; i < 40; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		if err := l.LogReceived(key, []byte("payload-"+key), t0); err != nil {
+			t.Fatal(err)
+		}
+		if !fill2(i) {
+			if err := l.MarkProcessed(key, t0.Add(time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wantUn := l.Unprocessed()
+	wantLen := l.Len()
+	l.Close()
+
+	// Crash artifacts: a half-written tmp and a torn gen-2 checkpoint
+	// (renamed into place but missing its END trailer — e.g. a torn
+	// sector). The gen-1 checkpoint and every later segment still exist.
+	if err := os.WriteFile(path+".ckpt.tmp", []byte("CKPT 1 3 9 9"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := "CKPT 1 2 99 2 40 0\nRECV 0 " + b64("k0000") + " " + b64("x") + "\n"
+	if err := os.WriteFile(path+".ckpt.00000002", []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != wantLen {
+		t.Fatalf("Len after fallback = %d, want %d", re.Len(), wantLen)
+	}
+	gotUn := re.Unprocessed()
+	if len(gotUn) != len(wantUn) {
+		t.Fatalf("Unprocessed after fallback = %d records, want %d", len(gotUn), len(wantUn))
+	}
+	for i := range gotUn {
+		if gotUn[i].Key != wantUn[i].Key || string(gotUn[i].Payload) != string(wantUn[i].Payload) {
+			t.Fatalf("Unprocessed[%d] = %+v, want %+v", i, gotUn[i], wantUn[i])
+		}
+	}
+	st := re.Stats()
+	if st.CheckpointGen != 1 {
+		t.Fatalf("fallback checkpoint gen = %d, want 1", st.CheckpointGen)
+	}
+	if st.CorruptLines == 0 {
+		t.Fatal("corrupt checkpoint not counted")
+	}
+	// The torn artifacts are gone from disk.
+	if _, err := os.Stat(path + ".ckpt.tmp"); !os.IsNotExist(err) {
+		t.Fatal("tmp checkpoint survived recovery")
+	}
+	if _, err := os.Stat(path + ".ckpt.00000002"); !os.IsNotExist(err) {
+		t.Fatal("corrupt checkpoint survived recovery")
+	}
+	// And checkpointing resumes past the poisoned generation.
+	if err := re.LogReceived("resume", []byte("p"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if gen := re.Stats().CheckpointGen; gen != 2 {
+		t.Fatalf("post-fallback checkpoint gen = %d, want 2", gen)
+	}
+}
+
+// TestSweepRetiresProcessed checks the memory bound: processed records
+// are tombstoned immediately (payload freed) and the periodic sweep
+// drops them from the index entirely.
+func TestSweepRetiresProcessed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.plog")
+	l, err := OpenWithOptions(path, Options{SweepEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fill(t, l, 20, func(i int) bool { return i >= 16 })
+	st := l.Stats()
+	if st.Retired != 16 {
+		t.Fatalf("Retired = %d, want 16", st.Retired)
+	}
+	if st.Live != 4 || st.Unprocessed != 4 {
+		t.Fatalf("Live/Unprocessed = %d/%d, want 4/4", st.Live, st.Unprocessed)
+	}
+	if l.Len() != 20 {
+		t.Fatalf("Len = %d, want 20 (all-time)", l.Len())
+	}
+	// Swept keys are gone from the index…
+	if l.Has("k0000") || l.IsProcessed("k0000") {
+		t.Fatal("swept key still resident")
+	}
+	if err := l.MarkProcessed("k0000", t0); !strings.Contains(fmt.Sprint(err), "unknown key") {
+		t.Fatalf("MarkProcessed(swept) = %v, want ErrUnknownKey", err)
+	}
+	// …while survivors keep full fidelity and arrival order.
+	un := l.Unprocessed()
+	if len(un) != 4 || un[0].Key != "k0016" || un[3].Key != "k0019" {
+		t.Fatalf("Unprocessed after sweep = %+v", un)
+	}
+}
