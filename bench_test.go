@@ -22,6 +22,7 @@ import (
 	"simba/internal/dmode"
 	"simba/internal/harness"
 	"simba/internal/hub"
+	"simba/internal/im"
 	"simba/internal/mab"
 	"simba/internal/plog"
 	"simba/internal/sss"
@@ -507,6 +508,126 @@ func BenchmarkPipelineEvaluate(b *testing.B) {
 			b.Fatal(v)
 		}
 	}
+}
+
+// BenchmarkHubModeDelivery — the shared-mode-executor experiment: the
+// same hosted portal workload delivered through the flat substrate
+// (every tenant executes the synthesized one-block Flat mode over the
+// SINK channel) versus through real per-tenant "IM with
+// acknowledgement, fallback email" modes, with IM acks injected back
+// through the hub after a 1 ms round trip. Reports sustained alerts/s
+// for both variants and, for the mode variant, the fraction confirmed
+// over IM (the remainder fell back to email on ack timeout).
+func BenchmarkHubModeDelivery(b *testing.B) {
+	const users, alerts, workers, shards = 500, 2500, 32, 8
+	clk := clock.NewReal()
+	run := func(b *testing.B, withModes bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sink := hub.FuncSink(func(shard int, user string, a *alert.Alert) error { return nil })
+			var h *hub.Hub
+			var imSeq atomic.Uint64
+			channels := core.NewChannels().
+				Register(addr.TypeIM, core.ChannelFunc(func(req core.Send) (core.SendResult, error) {
+					seq := imSeq.Add(1)
+					handle := req.To
+					go func() {
+						time.Sleep(time.Millisecond)
+						h.HandleIncoming(im.Message{From: handle, Text: core.AckText(seq)})
+					}()
+					return core.SendResult{Seq: seq}, nil
+				})).
+				Register(addr.TypeEmail, core.ChannelFunc(func(req core.Send) (core.SendResult, error) {
+					return core.SendResult{Confirmed: true}, nil
+				}))
+			h, err := hub.New(hub.Config{
+				Clock: clk, Sink: sink, Channels: channels,
+				WALPath: b.TempDir() + "/hub.wal",
+				Shards:  shards, QueueDepth: 512,
+				CommitWindow: 2 * time.Millisecond,
+				AckTimeout:   25 * time.Millisecond,
+				RNG:          dist.NewRNG(int64(i) + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for u := 0; u < users; u++ {
+				user := fmt.Sprintf("user-%d", u)
+				bd, err := h.AddUser(user)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bd.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+				bd.Pipeline().Aggregator.Map("stocks", "Investment")
+				if withModes {
+					p, err := core.NewProfile(user)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, a := range []addr.Address{
+						{Type: addr.TypeIM, Name: "Pager IM", Target: user + "@im", Enabled: true},
+						{Type: addr.TypeEmail, Name: "Work email", Target: user + "@mail", Enabled: true},
+					} {
+						if err := p.Addresses().Register(a); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Zero block timeout: the hub substitutes AckTimeout.
+					if err := p.DefineMode(dmode.IMThenEmail("Pager IM", "Work email", 0)); err != nil {
+						b.Fatal(err)
+					}
+					bd.SetProfile(p)
+					if err := bd.Subscribe("Investment", "IMThenEmail"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := h.Start(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for j := w; j < alerts; j += workers {
+						a := &alert.Alert{
+							ID: fmt.Sprintf("a-%d-%d", i, j), Source: "portal",
+							Keywords: []string{"stocks"}, Subject: "quote update",
+							Urgency: alert.UrgencyNormal, Created: clk.Now(),
+						}
+						for {
+							err := h.Submit(fmt.Sprintf("user-%d", j%users), a)
+							var over *hub.OverloadError
+							if errors.As(err, &over) {
+								time.Sleep(over.RetryAfter)
+								continue
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							break
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := h.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			st := h.Stats()
+			b.ReportMetric(float64(alerts)/elapsed.Seconds(), "alerts/s")
+			if withModes {
+				b.ReportMetric(float64(st.DeliveredByChannel[addr.TypeIM])/float64(alerts), "im-share")
+			}
+		}
+	}
+	b.Run("flat", func(b *testing.B) { run(b, false) })
+	b.Run("mode", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkSoakRandomFaults — randomized fault soak (2 simulated days

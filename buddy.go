@@ -19,12 +19,19 @@ type BuddyOptions struct {
 	LogPath string
 	// AckTimeout bounds how long the buddy waits for a user IM
 	// acknowledgement (through modes that use it). Informational here;
-	// actual timeouts live in the delivery modes.
+	// actual timeouts live in the delivery modes' block timeouts, which
+	// the shared mode executor enforces (the hub's analogue is the
+	// simbad -ack-timeout flag, substituted into hosted modes).
 	AckTimeout time.Duration
 	// DisableNightlyRejuvenation keeps the 23:30 restart off.
 	DisableNightlyRejuvenation bool
 	// OnDelivery observes every routing attempt. Optional.
 	OnDelivery func(a *Alert, sub Subscription, rep *Report, err error)
+	// ConfigureChannels runs against each incarnation's delivery
+	// channel registry after the built-in IM and email channels are
+	// registered — the hook for adding a direct-carrier SMS channel
+	// (DirectSMSChannel) or substituting a built-in. Optional.
+	ConfigureChannels func(*ChannelRegistry)
 }
 
 // NewBuddy constructs (but does not start) a MyAlertBuddy on the
@@ -62,8 +69,9 @@ func NewBuddy(w *World, opts BuddyOptions) (*Buddy, error) {
 		EmailAddress:     opts.EmailAddress,
 		LogPath:          opts.LogPath,
 		Journal:          w.Journal,
-		RejuvenationTime: rejuvenation,
-		OnDelivery:       onDelivery,
+		RejuvenationTime:  rejuvenation,
+		OnDelivery:        onDelivery,
+		ConfigureChannels: opts.ConfigureChannels,
 	})
 }
 

@@ -17,6 +17,14 @@
 //	simbad [-hours N]
 //	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
 //	       [-wal-segment-bytes B] [-wal-checkpoint-every R]
+//	       [-mode-frac F] [-ack-timeout D] [-im-ack-p P]
+//
+// A -mode-frac fraction of hosted tenants carries a personalized
+// "IM with acknowledgement, fallback email" delivery mode executed by
+// the hub's delivery stage through the shared mode executor: their IMs
+// are acked with probability -im-ack-p, and unacked blocks fall back
+// to email after -ack-timeout. The remaining tenants deliver through
+// the flat simulated substrate.
 package main
 
 import (
@@ -27,13 +35,18 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"simba/internal/addr"
 	"simba/internal/alert"
 	"simba/internal/clock"
+	"simba/internal/core"
 	"simba/internal/dist"
+	"simba/internal/dmode"
 	"simba/internal/harness"
 	"simba/internal/hub"
+	"simba/internal/im"
 	"simba/internal/mab"
 	"simba/internal/proxy"
 	"simba/internal/wish"
@@ -50,9 +63,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "hub: RNG seed")
 	walSegBytes := flag.Int64("wal-segment-bytes", 0, "hub: WAL segment size before rotation (0 = 4MiB default)")
 	walCkptEvery := flag.Int64("wal-checkpoint-every", 0, "hub: WAL records between checkpoints (0 = default, <0 disables compaction)")
+	modeFrac := flag.Float64("mode-frac", 0.1, "hub: fraction of tenants with a personalized IM-then-email delivery mode")
+	ackTimeout := flag.Duration("ack-timeout", 50*time.Millisecond, "hub: ack wait before a hosted mode block falls back")
+	imAckP := flag.Float64("im-ack-p", 0.7, "hub: probability a hosted IM delivery is acknowledged")
 	flag.Parse()
 	if *hubMode {
-		if err := runHub(*users, *shards, *alerts, *window, *deliveryWindow, *seed, *walSegBytes, *walCkptEvery); err != nil {
+		if err := runHub(hubParams{
+			users: *users, shards: *shards, alerts: *alerts,
+			window: *window, deliveryWindow: *deliveryWindow, seed: *seed,
+			walSegBytes: *walSegBytes, walCkptEvery: *walCkptEvery,
+			modeFrac: *modeFrac, ackTimeout: *ackTimeout, imAckP: *imAckP,
+		}); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -173,14 +194,33 @@ func run(hours int) error {
 
 func stamp(t time.Time) string { return t.Format("15:04:05") }
 
+// hubParams bundles the -hub experiment's knobs.
+type hubParams struct {
+	users, shards, alerts     int
+	window                    time.Duration
+	deliveryWindow            int
+	seed                      int64
+	walSegBytes, walCkptEvery int64
+	modeFrac                  float64
+	ackTimeout                time.Duration
+	imAckP                    float64
+}
+
 // runHub hosts N tenants behind a K-way sharded hub and drives a
 // portal-style workload through it, printing the capacity figures the
 // hosted deployment is sized by: alerts/s, fsyncs per alert, commit
 // batch size, the per-stage latency split (queue wait | route |
-// deliver), delivery-stage concurrency, and admission rejects.
-func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int, seed, walSegBytes, walCkptEvery int64) error {
+// deliver), delivery-stage concurrency, admission rejects, and the
+// per-channel delivery split. A -mode-frac fraction of tenants executes
+// a personalized IM-then-email delivery mode through the shared
+// executor; the rest use the flat simulated substrate.
+func runHub(p hubParams) error {
+	users, shards, alerts := p.users, p.shards, p.alerts
 	if users <= 0 || shards <= 0 || alerts <= 0 {
 		return fmt.Errorf("simbad: -users, -shards, and -alerts must be positive")
+	}
+	if p.modeFrac < 0 || p.modeFrac > 1 || p.imAckP < 0 || p.imAckP > 1 {
+		return fmt.Errorf("simbad: -mode-frac and -im-ack-p must be in [0,1]")
 	}
 	tmp, err := os.MkdirTemp("", "simbad-hub")
 	if err != nil {
@@ -189,36 +229,89 @@ func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int,
 	defer os.RemoveAll(tmp)
 
 	clk := clock.NewReal()
-	rng := dist.NewRNG(seed)
+	rng := dist.NewRNG(p.seed)
 	sink := hub.NewSimSink(rng.Fork("substrate"), shards,
 		dist.LogNormal{Mu: -1.4, Sigma: 0.5}, 0.01) // median ≈ 250ms substrate delay
-	h, err := hub.New(hub.Config{
+
+	// Simulated IM + email channels for the mode-carrying tenants: an
+	// IM send is acked with probability imAckP (the ack arrives shortly
+	// after through the hub's ack intake); unacked blocks fall back to
+	// email after -ack-timeout. Per-shard forked RNGs, as in SimSink.
+	var h *hub.Hub
+	var imSeq atomic.Uint64
+	imRNGs := make([]*dist.RNG, shards)
+	for i := range imRNGs {
+		imRNGs[i] = rng.Fork(fmt.Sprintf("sim-im-shard-%d", i))
+	}
+	channels := core.NewChannels().
+		Register(addr.TypeIM, core.ChannelFunc(func(req core.Send) (core.SendResult, error) {
+			seq := imSeq.Add(1)
+			if imRNGs[req.Shard%len(imRNGs)].Bool(p.imAckP) {
+				handle := req.To
+				go func() {
+					time.Sleep(time.Millisecond)
+					h.HandleIncoming(im.Message{From: handle, Text: core.AckText(seq)})
+				}()
+			}
+			return core.SendResult{Seq: seq}, nil
+		})).
+		Register(addr.TypeEmail, core.ChannelFunc(func(req core.Send) (core.SendResult, error) {
+			return core.SendResult{Confirmed: true}, nil
+		}))
+
+	h, err = hub.New(hub.Config{
 		Clock:              clk,
 		Sink:               sink,
+		Channels:           channels,
+		AckTimeout:         p.ackTimeout,
 		WALPath:            filepath.Join(tmp, "hub.wal"),
 		Shards:             shards,
-		CommitWindow:       window,
-		DeliveryWindow:     deliveryWindow,
+		CommitWindow:       p.window,
+		DeliveryWindow:     p.deliveryWindow,
 		RNG:                rng,
-		WALSegmentBytes:    walSegBytes,
-		WALCheckpointEvery: walCkptEvery,
+		WALSegmentBytes:    p.walSegBytes,
+		WALCheckpointEvery: p.walCkptEvery,
 	})
 	if err != nil {
 		return err
 	}
+	modeUsers := int(p.modeFrac * float64(users))
 	for i := 0; i < users; i++ {
-		b, err := h.AddUser(fmt.Sprintf("user-%d", i))
+		user := fmt.Sprintf("user-%d", i)
+		b, err := h.AddUser(user)
 		if err != nil {
 			return err
 		}
 		b.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
 		b.Pipeline().Aggregator.Map("stocks", "Investment")
+		if i < modeUsers {
+			profile, err := core.NewProfile(user)
+			if err != nil {
+				return err
+			}
+			for _, a := range []addr.Address{
+				{Type: addr.TypeIM, Name: "Pager IM", Target: user + "@im.sim", Enabled: true},
+				{Type: addr.TypeEmail, Name: "Work email", Target: user + "@mail.sim", Enabled: true},
+			} {
+				if err := profile.Addresses().Register(a); err != nil {
+					return err
+				}
+			}
+			// Block timeout 0: Config.AckTimeout bounds the ack wait.
+			if err := profile.DefineMode(dmode.IMThenEmail("Pager IM", "Work email", 0)); err != nil {
+				return err
+			}
+			b.SetProfile(profile)
+			if err := b.Subscribe("Investment", "IMThenEmail"); err != nil {
+				return err
+			}
+		}
 	}
 	if err := h.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("hub: hosting %d users on %d shards (queue depth %d, commit window %v)\n",
-		users, shards, hub.DefaultQueueDepth, window)
+	fmt.Printf("hub: hosting %d users on %d shards (queue depth %d, commit window %v, %d mode tenants, ack timeout %v)\n",
+		users, shards, hub.DefaultQueueDepth, p.window, modeUsers, p.ackTimeout)
 
 	workers := 32
 	if workers > alerts {
@@ -290,8 +383,11 @@ func runHub(users, shards, alerts int, window time.Duration, deliveryWindow int,
 		stages.Route.P50.Round(time.Microsecond), stages.Route.P99.Round(time.Microsecond),
 		stages.Deliver.P50.Round(time.Microsecond), stages.Deliver.P99.Round(time.Microsecond))
 	fmt.Printf("delivered %d, simulated drops %d, delivery retries %d, undeliverable %d, overload rejects %d, duplicates %d\n",
-		sink.Delivered(), sink.Dropped(), c.Get("delivery-retries"), c.Get("undeliverable"),
+		c.Get("delivered"), sink.Dropped(), c.Get("delivery-retries"), c.Get("undeliverable"),
 		c.Get("rejects-overload"), c.Get("duplicates"))
+	fmt.Printf("delivered by channel: IM %d, SMS %d, email %d, flat substrate %d\n",
+		st.DeliveredByChannel[addr.TypeIM], st.DeliveredByChannel[addr.TypeSMS],
+		st.DeliveredByChannel[addr.TypeEmail], st.DeliveredByChannel[addr.TypeSink])
 	for _, s := range st.Shards {
 		fmt.Printf("  shard %d: peak queue depth %d, peak in-flight deliveries %d\n",
 			s.Shard, s.PeakDepth, s.PeakInFlight)

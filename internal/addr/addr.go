@@ -26,12 +26,17 @@ const (
 	TypeIM    Type = "IM"
 	TypeSMS   Type = "SMS"
 	TypeEmail Type = "EM"
+	// TypeSink is the hosting substrate's pseudo-channel: hosted
+	// tenants without a personalized delivery mode deliver through the
+	// hub's flat sink, which registers its adapter channel under this
+	// type. It never appears in a user-authored address book.
+	TypeSink Type = "SINK"
 )
 
 // Valid reports whether t is a known communication type.
 func (t Type) Valid() bool {
 	switch t {
-	case TypeIM, TypeSMS, TypeEmail:
+	case TypeIM, TypeSMS, TypeEmail, TypeSink:
 		return true
 	default:
 		return false

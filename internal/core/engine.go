@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"simba/internal/addr"
@@ -15,9 +14,9 @@ import (
 	"simba/internal/im"
 )
 
-// Engine errors.
+// Delivery errors.
 var (
-	// ErrNoChannel indicates the engine has no sender for an action's
+	// ErrNoChannel indicates no channel is registered for an action's
 	// communication type.
 	ErrNoChannel = errors.New("core: no sender configured for channel")
 	// ErrUnknownAddress indicates an action references a friendly name
@@ -73,11 +72,16 @@ type ActionResult struct {
 	Type addr.Type
 	// Target is the network address used.
 	Target string
-	// Seq is the IM sequence number (IM actions only).
+	// Seq is the channel message sequence number (ack-based channels
+	// only).
 	Seq uint64
+	// Confirmed reports that the channel confirmed delivery at send
+	// time (fire-and-forget channels).
+	Confirmed bool
 	// Err is the send or confirmation error, nil on success.
 	Err error
-	// AckedAt is when the IM acknowledgement arrived (IM actions only).
+	// AckedAt is when the acknowledgement arrived (ack-based channels
+	// only).
 	AckedAt time.Time
 }
 
@@ -87,6 +91,27 @@ type BlockResult struct {
 	Actions   []ActionResult
 	Succeeded bool
 	Elapsed   time.Duration
+}
+
+// ActionError is one action failure in debuggable form: which block,
+// which address (friendly name, channel type, network target), and the
+// error text. It lets block-fallback causes be reconstructed from logs
+// instead of only ErrAllBlocksFailed.
+type ActionError struct {
+	Block       int
+	AddressName string
+	Type        addr.Type
+	Target      string
+	Err         string
+}
+
+// String renders the failure as "block 0 IM Pager(alice@im): refused".
+func (e ActionError) String() string {
+	t := string(e.Type)
+	if t == "" {
+		t = "?"
+	}
+	return fmt.Sprintf("block %d %s %s(%s): %s", e.Block, t, e.AddressName, e.Target, e.Err)
 }
 
 // Report summarizes one delivery-mode execution.
@@ -105,222 +130,119 @@ type Report struct {
 // Latency returns the total delivery time.
 func (r *Report) Latency() time.Duration { return r.FinishedAt.Sub(r.StartedAt) }
 
-// Engine executes delivery modes. It is safe for concurrent use; any
-// number of Deliver calls may be in flight.
+// ActionErrors collects every failed action across all executed
+// blocks, in execution order.
+func (r *Report) ActionErrors() []ActionError {
+	var out []ActionError
+	for _, b := range r.Blocks {
+		for _, a := range b.Actions {
+			if a.Err == nil {
+				continue
+			}
+			out = append(out, ActionError{
+				Block:       b.Index,
+				AddressName: a.AddressName,
+				Type:        a.Type,
+				Target:      a.Target,
+				Err:         a.Err.Error(),
+			})
+		}
+	}
+	return out
+}
+
+// FailureSummary renders every action failure on one line, for
+// embedding in delivery errors and logs.
+func (r *Report) FailureSummary() string {
+	errs := r.ActionErrors()
+	if len(errs) == 0 {
+		return "no action failures recorded"
+	}
+	parts := make([]string, len(errs))
+	for i, e := range errs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// DeliveredType returns the communication type of the address that
+// confirmed delivery ("" when not delivered).
+func (r *Report) DeliveredType() addr.Type {
+	if !r.Delivered || r.DeliveredVia == "" {
+		return ""
+	}
+	for _, b := range r.Blocks {
+		if !b.Succeeded {
+			continue
+		}
+		for _, a := range b.Actions {
+			if a.AddressName == r.DeliveredVia {
+				return a.Type
+			}
+		}
+	}
+	return ""
+}
+
+// Engine is the buddy-side delivery shell: an Executor over the
+// classic IM + email sender pair plus the acknowledgement tracking the
+// buddy's receive loop feeds. It is kept for the personal
+// (one-user-per-process) path; shared substrates like the hub use an
+// Executor with their own channel registry directly. It is safe for
+// concurrent use; any number of Deliver calls may be in flight.
 type Engine struct {
-	clk   clock.Clock
-	im    IMSender
-	email EmailSender
-
-	mu      sync.Mutex
-	pending map[ackKey]*pendingAck
-}
-
-type ackKey struct {
-	handle string
-	seq    uint64
-}
-
-type pendingAck struct {
-	ch   chan ackArrival
-	name string // friendly address name
-}
-
-type ackArrival struct {
-	name string
-	at   time.Time
+	exec *Executor
 }
 
 // NewEngine builds a delivery engine. Either sender may be nil when
 // the caller has no channel of that type; actions needing it fail with
-// ErrNoChannel.
+// ErrNoChannel. SMS actions ride the carrier's email gateway (the
+// paper's original wiring); callers wanting direct carrier submission
+// register NewSMSChannel on Channels.
 func NewEngine(clk clock.Clock, imSender IMSender, emailSender EmailSender) (*Engine, error) {
 	if clk == nil {
 		return nil, errors.New("core: clock is required")
 	}
-	return &Engine{
-		clk:     clk,
-		im:      imSender,
-		email:   emailSender,
-		pending: make(map[ackKey]*pendingAck),
-	}, nil
+	channels := NewChannels()
+	if imSender != nil {
+		channels.Register(addr.TypeIM, NewIMChannel(imSender))
+	}
+	if emailSender != nil {
+		email := NewEmailChannel(emailSender)
+		channels.Register(addr.TypeEmail, email)
+		channels.Register(addr.TypeSMS, email)
+	}
+	exec, err := NewExecutor(clk, channels, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{exec: exec}, nil
 }
+
+// Executor returns the engine's underlying mode executor, for callers
+// that deliver with an explicit DeliveryContext or share the executor
+// across components.
+func (e *Engine) Executor() *Executor { return e.exec }
+
+// Channels returns the engine's channel registry, so additional
+// channel types (e.g. direct-carrier SMS) can be plugged in.
+func (e *Engine) Channels() *Channels { return e.exec.Channels() }
 
 // HandleIncoming inspects an incoming IM. If it is an acknowledgement
 // for a pending IM action, the ack is resolved and HandleIncoming
 // reports true (the message is consumed). All other messages report
 // false and should be processed by the caller.
 func (e *Engine) HandleIncoming(msg im.Message) bool {
-	seq, ok := ParseAck(msg.Text)
-	if !ok {
-		return false
-	}
-	key := ackKey{handle: msg.From, seq: seq}
-	e.mu.Lock()
-	p, ok := e.pending[key]
-	if ok {
-		delete(e.pending, key)
-	}
-	e.mu.Unlock()
-	if ok {
-		select {
-		case p.ch <- ackArrival{name: p.name, at: e.clk.Now()}:
-		default:
-		}
-	}
-	return true // consume stray acks too
+	return e.exec.Acks().HandleIncoming(msg)
 }
 
 // PendingAcks reports how many IM acknowledgements are outstanding.
-func (e *Engine) PendingAcks() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.pending)
-}
+func (e *Engine) PendingAcks() int { return e.exec.Acks().Pending() }
 
 // Deliver executes the delivery mode for one alert against the user's
 // address registry, trying blocks in order until one succeeds. It
 // blocks for up to the sum of the blocks' timeouts (only blocks that
-// must wait for an IM acknowledgement consume their timeout).
+// must wait for an acknowledgement consume their timeout).
 func (e *Engine) Deliver(a *alert.Alert, reg *addr.Registry, mode *dmode.Mode) (*Report, error) {
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	if err := mode.Validate(); err != nil {
-		return nil, err
-	}
-	payload, err := a.MarshalText()
-	if err != nil {
-		return nil, err
-	}
-	report := &Report{
-		AlertKey:  a.DedupKey(),
-		ModeName:  mode.Name,
-		StartedAt: e.clk.Now(),
-	}
-	for i := range mode.Blocks {
-		br := e.runBlock(i, &mode.Blocks[i], reg, a, payload)
-		report.Blocks = append(report.Blocks, br)
-		if br.Succeeded {
-			report.Delivered = true
-			report.DeliveredVia = deliveredVia(br)
-			break
-		}
-	}
-	report.FinishedAt = e.clk.Now()
-	if !report.Delivered {
-		return report, fmt.Errorf("core: alert %s mode %s: %w", a.ID, mode.Name, ErrAllBlocksFailed)
-	}
-	return report, nil
-}
-
-// runBlock performs all enabled actions of one block and decides its
-// outcome: immediate success if any fire-and-forget action was
-// accepted, else success iff an IM acknowledgement arrives within the
-// block timeout.
-func (e *Engine) runBlock(index int, b *dmode.Block, reg *addr.Registry, a *alert.Alert, payload []byte) BlockResult {
-	start := e.clk.Now()
-	br := BlockResult{Index: index}
-	ackCh := make(chan ackArrival, len(b.Actions))
-	var keys []ackKey
-	immediate := "" // friendly name of a fire-and-forget success
-
-	for _, action := range b.Actions {
-		res := ActionResult{AddressName: action.Address}
-		address, ok := reg.Lookup(action.Address)
-		switch {
-		case !ok:
-			res.Err = fmt.Errorf("%q: %w", action.Address, ErrUnknownAddress)
-		case !address.Enabled:
-			res.Type, res.Target = address.Type, address.Target
-			res.Err = fmt.Errorf("%q: %w", action.Address, ErrAddressDisabled)
-		default:
-			res.Type, res.Target = address.Type, address.Target
-			switch address.Type {
-			case addr.TypeIM:
-				if e.im == nil {
-					res.Err = fmt.Errorf("IM: %w", ErrNoChannel)
-					break
-				}
-				seq, err := e.im.Send(address.Target, string(payload))
-				if err != nil {
-					res.Err = err
-					break
-				}
-				res.Seq = seq
-				key := ackKey{handle: address.Target, seq: seq}
-				e.mu.Lock()
-				e.pending[key] = &pendingAck{ch: ackCh, name: address.Name}
-				e.mu.Unlock()
-				keys = append(keys, key)
-			case addr.TypeEmail, addr.TypeSMS:
-				// SMS rides the carrier's email gateway, so both types
-				// are email submissions; accept == confirmed.
-				if e.email == nil {
-					res.Err = fmt.Errorf("%s: %w", address.Type, ErrNoChannel)
-					break
-				}
-				if err := e.email.Send(address.Target, a.Subject, string(payload)); err != nil {
-					res.Err = err
-					break
-				}
-				if immediate == "" {
-					immediate = address.Name
-				}
-			default:
-				res.Err = fmt.Errorf("type %q: %w", address.Type, ErrNoChannel)
-			}
-		}
-		br.Actions = append(br.Actions, res)
-	}
-
-	switch {
-	case immediate != "":
-		br.Succeeded = true
-	case len(keys) > 0:
-		timer := e.clk.NewTimer(b.EffectiveTimeout())
-		select {
-		case arr := <-ackCh:
-			timer.Stop()
-			br.Succeeded = true
-			for i := range br.Actions {
-				if br.Actions[i].AddressName == arr.name && br.Actions[i].Err == nil {
-					br.Actions[i].AckedAt = arr.at
-				}
-			}
-		case <-timer.C():
-			for i := range br.Actions {
-				if br.Actions[i].Err == nil && br.Actions[i].Type == addr.TypeIM {
-					br.Actions[i].Err = fmt.Errorf("no acknowledgement within %v", b.EffectiveTimeout())
-				}
-			}
-		}
-	}
-	// Unregister any acks still pending for this block.
-	e.mu.Lock()
-	for _, k := range keys {
-		if p, ok := e.pending[k]; ok && p.ch == ackCh {
-			delete(e.pending, k)
-		}
-	}
-	e.mu.Unlock()
-	br.Elapsed = e.clk.Now().Sub(start)
-	return br
-}
-
-// deliveredVia picks the confirming address name from a succeeded
-// block: an acked IM action first, else the first fire-and-forget
-// success.
-func deliveredVia(br BlockResult) string {
-	for _, res := range br.Actions {
-		if !res.AckedAt.IsZero() {
-			return res.AddressName
-		}
-	}
-	for _, res := range br.Actions {
-		if res.Err == nil && (res.Type == addr.TypeEmail || res.Type == addr.TypeSMS) {
-			return res.AddressName
-		}
-	}
-	return ""
+	return e.exec.Deliver(a, reg, mode)
 }

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"simba/internal/addr"
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dmode"
+	"simba/internal/im"
+)
+
+// Acks tracks pending IM acknowledgements across concurrent
+// deliveries. It is the only mutable delivery state left outside the
+// executor's stack, shared so the component that sees inbound IMs (the
+// buddy's receive loop, the hub's ack intake) can resolve waits started
+// by any delivery in flight.
+type Acks struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	pending map[ackKey]*pendingAck
+}
+
+type ackKey struct {
+	handle string
+	seq    uint64
+}
+
+type pendingAck struct {
+	ch   chan ackArrival
+	name string // friendly address name
+}
+
+type ackArrival struct {
+	name string
+	at   time.Time
+}
+
+// NewAcks builds an empty acknowledgement table.
+func NewAcks(clk clock.Clock) *Acks {
+	return &Acks{clk: clk, pending: make(map[ackKey]*pendingAck)}
+}
+
+// HandleIncoming inspects an incoming IM. If it is an acknowledgement
+// for a pending IM action, the ack is resolved and HandleIncoming
+// reports true (the message is consumed). All other messages report
+// false and should be processed by the caller.
+func (t *Acks) HandleIncoming(msg im.Message) bool {
+	seq, ok := ParseAck(msg.Text)
+	if !ok {
+		return false
+	}
+	key := ackKey{handle: msg.From, seq: seq}
+	t.mu.Lock()
+	p, ok := t.pending[key]
+	if ok {
+		delete(t.pending, key)
+	}
+	t.mu.Unlock()
+	if ok {
+		select {
+		case p.ch <- ackArrival{name: p.name, at: t.clk.Now()}:
+		default:
+		}
+	}
+	return true // consume stray acks too
+}
+
+// Pending reports how many acknowledgements are outstanding.
+func (t *Acks) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// register arms one pending acknowledgement.
+func (t *Acks) register(key ackKey, p *pendingAck) {
+	t.mu.Lock()
+	t.pending[key] = p
+	t.mu.Unlock()
+}
+
+// cancel unregisters any keys still pending for one block's wait
+// channel (acks resolved meanwhile belong to it and are left alone).
+func (t *Acks) cancel(keys []ackKey, ch chan ackArrival) {
+	t.mu.Lock()
+	for _, k := range keys {
+		if p, ok := t.pending[k]; ok && p.ch == ch {
+			delete(t.pending, k)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// DeliveryContext carries the hosting identity of one delivery through
+// the executor to the channels: which tenant is being delivered to and
+// on which shard. The zero value is the personal (buddy) path.
+type DeliveryContext struct {
+	User  string
+	Shard int
+}
+
+// Executor executes delivery modes: mode → block fallback → action
+// execution through the channel registry. It is stateless and
+// reentrant — any number of Deliver calls may be in flight, on the
+// personal buddy path and across a hub's delivery workers alike.
+type Executor struct {
+	clk      clock.Clock
+	channels *Channels
+	acks     *Acks
+}
+
+// NewExecutor builds an executor over a channel registry. acks may be
+// nil when no registered channel is ack-based (pending waits would
+// then only ever time out).
+func NewExecutor(clk clock.Clock, channels *Channels, acks *Acks) (*Executor, error) {
+	if clk == nil {
+		return nil, errors.New("core: clock is required")
+	}
+	if channels == nil {
+		return nil, errors.New("core: channel registry is required")
+	}
+	if acks == nil {
+		acks = NewAcks(clk)
+	}
+	return &Executor{clk: clk, channels: channels, acks: acks}, nil
+}
+
+// Channels returns the executor's channel registry.
+func (x *Executor) Channels() *Channels { return x.channels }
+
+// Acks returns the executor's acknowledgement table.
+func (x *Executor) Acks() *Acks { return x.acks }
+
+// Deliver executes the delivery mode for one alert on the personal
+// path (zero DeliveryContext). See DeliverAs.
+func (x *Executor) Deliver(a *alert.Alert, reg *addr.Registry, mode *dmode.Mode) (*Report, error) {
+	return x.DeliverAs(DeliveryContext{}, a, reg, mode)
+}
+
+// DeliverAs executes the delivery mode for one alert against the
+// user's address registry, trying blocks in order until one succeeds.
+// It blocks for up to the sum of the blocks' timeouts (only blocks
+// that must wait for an acknowledgement consume their timeout). On
+// total failure the error wraps ErrAllBlocksFailed and carries the
+// report's per-action failure summary.
+func (x *Executor) DeliverAs(ctx DeliveryContext, a *alert.Alert, reg *addr.Registry, mode *dmode.Mode) (*Report, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mode.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := a.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		AlertKey:  a.DedupKey(),
+		ModeName:  mode.Name,
+		StartedAt: x.clk.Now(),
+	}
+	for i := range mode.Blocks {
+		br := x.runBlock(ctx, i, &mode.Blocks[i], reg, a, payload)
+		report.Blocks = append(report.Blocks, br)
+		if br.Succeeded {
+			report.Delivered = true
+			report.DeliveredVia = deliveredVia(br)
+			break
+		}
+	}
+	report.FinishedAt = x.clk.Now()
+	if !report.Delivered {
+		return report, fmt.Errorf("core: alert %s mode %s: %w (%s)",
+			a.ID, mode.Name, ErrAllBlocksFailed, report.FailureSummary())
+	}
+	return report, nil
+}
+
+// runBlock performs all enabled actions of one block and decides its
+// outcome: immediate success if any fire-and-forget action was
+// confirmed, else success iff an acknowledgement arrives within the
+// block timeout.
+func (x *Executor) runBlock(ctx DeliveryContext, index int, b *dmode.Block, reg *addr.Registry, a *alert.Alert, payload []byte) BlockResult {
+	start := x.clk.Now()
+	br := BlockResult{Index: index}
+	ackCh := make(chan ackArrival, len(b.Actions))
+	var keys []ackKey
+	immediate := "" // friendly name of a fire-and-forget success
+
+	for _, action := range b.Actions {
+		res := ActionResult{AddressName: action.Address}
+		address, ok := reg.Lookup(action.Address)
+		switch {
+		case !ok:
+			res.Err = fmt.Errorf("%q: %w", action.Address, ErrUnknownAddress)
+		case !address.Enabled:
+			res.Type, res.Target = address.Type, address.Target
+			res.Err = fmt.Errorf("%q: %w", action.Address, ErrAddressDisabled)
+		default:
+			res.Type, res.Target = address.Type, address.Target
+			ch, ok := x.channels.Lookup(address.Type)
+			if !ok {
+				res.Err = fmt.Errorf("%s: %w", address.Type, ErrNoChannel)
+				break
+			}
+			sr, err := ch.Send(Send{
+				To:      address.Target,
+				User:    ctx.User,
+				Shard:   ctx.Shard,
+				Alert:   a,
+				Payload: payload,
+			})
+			if err != nil {
+				res.Err = err
+				break
+			}
+			if sr.Confirmed {
+				res.Confirmed = true
+				if immediate == "" {
+					immediate = address.Name
+				}
+				break
+			}
+			res.Seq = sr.Seq
+			key := ackKey{handle: address.Target, seq: sr.Seq}
+			x.acks.register(key, &pendingAck{ch: ackCh, name: address.Name})
+			keys = append(keys, key)
+		}
+		br.Actions = append(br.Actions, res)
+	}
+
+	switch {
+	case immediate != "":
+		br.Succeeded = true
+	case len(keys) > 0:
+		timer := x.clk.NewTimer(b.EffectiveTimeout())
+		select {
+		case arr := <-ackCh:
+			timer.Stop()
+			br.Succeeded = true
+			for i := range br.Actions {
+				if br.Actions[i].AddressName == arr.name && br.Actions[i].Err == nil {
+					br.Actions[i].AckedAt = arr.at
+				}
+			}
+		case <-timer.C():
+			for i := range br.Actions {
+				if br.Actions[i].Err == nil && !br.Actions[i].Confirmed {
+					br.Actions[i].Err = fmt.Errorf("no acknowledgement within %v", b.EffectiveTimeout())
+				}
+			}
+		}
+	}
+	// Unregister any acks still pending for this block.
+	x.acks.cancel(keys, ackCh)
+	br.Elapsed = x.clk.Now().Sub(start)
+	return br
+}
+
+// deliveredVia picks the confirming address name from a succeeded
+// block: an acked action first, else the first fire-and-forget
+// confirmation.
+func deliveredVia(br BlockResult) string {
+	for _, res := range br.Actions {
+		if !res.AckedAt.IsZero() {
+			return res.AddressName
+		}
+	}
+	for _, res := range br.Actions {
+		if res.Err == nil && res.Confirmed {
+			return res.AddressName
+		}
+	}
+	return ""
+}

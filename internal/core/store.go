@@ -37,6 +37,21 @@ type Profile struct {
 	modes map[string]*dmode.Mode
 }
 
+// NewProfile builds a standalone profile, for hosts that carry
+// per-tenant profiles outside a Store (the hub's mode-aware delivery
+// stage). Store.RegisterUser remains the constructor on the
+// subscription-layer path.
+func NewProfile(name string) (*Profile, error) {
+	if name == "" {
+		return nil, errors.New("core: empty user name")
+	}
+	return &Profile{
+		name:  name,
+		addrs: addr.NewRegistry(name),
+		modes: make(map[string]*dmode.Mode),
+	}, nil
+}
+
 // Name returns the user name.
 func (p *Profile) Name() string { return p.name }
 

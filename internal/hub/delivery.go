@@ -4,7 +4,9 @@ import (
 	"errors"
 	"time"
 
+	"simba/internal/addr"
 	"simba/internal/alert"
+	"simba/internal/core"
 	"simba/internal/dist"
 	"simba/internal/faults"
 	"simba/internal/metrics"
@@ -12,12 +14,21 @@ import (
 	"sync"
 )
 
+// deliveredViaCounter names the per-channel-type delivery counter.
+func deliveredViaCounter(t addr.Type) string {
+	if t == "" {
+		t = "?"
+	}
+	return "delivered-via-" + string(t)
+}
+
 // deliveryJob is one routed alert handed from the shard loop to the
 // delivery stage.
 type deliveryJob struct {
-	env    envelope
-	routed *alert.Alert
-	handed time.Time // when routing handed the job off, for the deliver-stage latency split
+	env      envelope
+	routed   *alert.Alert
+	category string // routing category, selects the tenant's subscribed delivery mode
+	handed   time.Time // when routing handed the job off, for the deliver-stage latency split
 }
 
 // userQueue is one tenant's pending deliveries, owned by at most one
@@ -131,18 +142,26 @@ func (d *deliveryStage) release() {
 	<-d.window
 }
 
-// perform executes one delivery: call the sink, retry transient
-// failures with capped exponential backoff + jitter, and only then
-// stage the WAL DONE record. A kill abandons the job before the mark,
-// leaving the entry for the next incarnation to replay.
+// perform executes one delivery: run the tenant's delivery mode (or
+// the flat substrate plan) through the shared executor, retry failed
+// attempts — every block exhausted — with capped exponential backoff +
+// jitter, and only then stage the WAL DONE record. A kill abandons the
+// job before the mark, leaving the entry for the next incarnation to
+// replay.
 func (d *deliveryStage) perform(job deliveryJob) {
 	h := d.h
 	b := job.env.buddy
+	reg, mode := h.plan(b, job.category)
+	ctx := core.DeliveryContext{User: b.user, Shard: d.sh.id}
 	for attempt := 1; ; attempt++ {
-		err := h.cfg.Sink.Deliver(d.sh.id, b.user, job.routed)
+		rep, err := h.exec.DeliverAs(ctx, job.routed, reg, mode)
+		if f := h.cfg.OnDelivery; f != nil {
+			f(b.user, rep, err)
+		}
 		if err == nil {
 			b.delivered.Add(1)
 			h.counters.Add1("delivered")
+			h.counters.Add1(deliveredViaCounter(rep.DeliveredType()))
 			break
 		}
 		if attempt >= h.cfg.DeliveryMaxAttempts {

@@ -41,10 +41,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simba/internal/addr"
 	"simba/internal/alert"
 	"simba/internal/clock"
+	"simba/internal/core"
 	"simba/internal/dist"
+	"simba/internal/dmode"
 	"simba/internal/faults"
+	"simba/internal/im"
 	"simba/internal/mab"
 	"simba/internal/metrics"
 	"simba/internal/plog"
@@ -116,19 +120,49 @@ func (e *OverloadError) Error() string {
 		e.Shard, e.Depth, e.RetryAfter)
 }
 
-// Sink is the delivery substrate the hub routes into: the hosted
-// equivalent of the buddy's delivery engine. shard identifies the
-// calling shard so simulated substrates can use per-shard forked RNGs
-// instead of serializing on one.
+// Sink is the flat delivery substrate the hub routes into: one call
+// per routed alert, no delivery modes. shard identifies the calling
+// shard so simulated substrates can use per-shard forked RNGs instead
+// of serializing on one.
+//
+// Deprecated: Sink predates the shared mode executor. New delivery
+// substrates should implement core.Channel and register through
+// Config.Channels; a Sink is still accepted and is adapted into the
+// channel registry as the FlatSink substrate channel, which tenants
+// without a personalized delivery mode execute through.
 type Sink interface {
 	Deliver(shard int, user string, a *alert.Alert) error
 }
 
+// flatAddressName is the friendly name of the synthesized address that
+// routes profile-less tenants through the FlatSink substrate channel.
+const flatAddressName = "substrate"
+
 // Config parameterizes the hub.
 type Config struct {
-	// Clock and Sink are required.
+	// Clock is required. At least one of Sink and Channels must be set.
 	Clock clock.Clock
-	Sink  Sink
+	// Sink is the flat delivery substrate. When set, it is registered
+	// into the channel registry as the FlatSink channel under
+	// addr.TypeSink, which tenants without a personalized delivery mode
+	// execute through.
+	Sink Sink
+	// Channels is the delivery channel registry the shared mode
+	// executor draws from (IM, email, SMS, ...). Optional; the hub
+	// creates an empty registry when nil. Note the hub registers its
+	// FlatSink adapter under addr.TypeSink in this registry.
+	Channels *core.Channels
+	// AckTimeout, when positive, substitutes for the default block
+	// timeout in hosted delivery modes: blocks that do not specify a
+	// timeout wait this long for an acknowledgement before falling
+	// back, instead of dmode.DefaultBlockTimeout. It bounds how long a
+	// tenant's ack wait can occupy its delivery chain.
+	AckTimeout time.Duration
+	// OnDelivery, when set, observes every delivery-mode execution
+	// attempt on the hub's delivery workers: the per-attempt report
+	// (block fallback trace) and the attempt's error, nil on success.
+	// Must be safe for concurrent calls.
+	OnDelivery func(user string, rep *core.Report, err error)
 	// WALPath is the shared group-commit journal; required.
 	WALPath string
 	// Shards is the shard-table size; zero means DefaultShards.
@@ -181,10 +215,17 @@ type Config struct {
 }
 
 // Buddy is one hosted tenant: the per-user MyAlertBuddy pipeline
-// rebuilt inside the hub. Configure its stages through Pipeline().
+// rebuilt inside the hub. Configure its stages through Pipeline(), and
+// optionally attach a delivery profile (addresses + modes) with
+// SetProfile + Subscribe to make the hub execute the tenant's
+// personalized delivery modes instead of the flat substrate.
 type Buddy struct {
 	user string
 	pipe *mab.Pipeline
+
+	mu      sync.RWMutex
+	profile *core.Profile
+	subs    map[string]string // routing category → delivery-mode name
 
 	routed, rejected, filtered, delivered atomic.Int64
 }
@@ -194,6 +235,45 @@ func (b *Buddy) User() string { return b.user }
 
 // Pipeline returns the tenant's classify→aggregate→filter stages.
 func (b *Buddy) Pipeline() *mab.Pipeline { return b.pipe }
+
+// SetProfile attaches the tenant's delivery profile. Alerts routed to
+// a category the tenant subscribed (Subscribe) execute that
+// subscription's delivery mode — block fallback, ack timeouts — on the
+// hub's delivery workers; all other alerts use the flat substrate.
+func (b *Buddy) SetProfile(p *core.Profile) {
+	b.mu.Lock()
+	b.profile = p
+	b.mu.Unlock()
+}
+
+// Profile returns the tenant's delivery profile (nil when flat).
+func (b *Buddy) Profile() *core.Profile {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.profile
+}
+
+// Subscribe maps a routing category to one of the profile's delivery
+// modes, mirroring Store.Subscribe on the hosted path. The profile
+// must be set and must define the mode.
+func (b *Buddy) Subscribe(category, mode string) error {
+	if category == "" {
+		return errors.New("hub: empty category")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.profile == nil {
+		return fmt.Errorf("hub: subscribe %s/%s: tenant has no profile", b.user, category)
+	}
+	if _, err := b.profile.Mode(mode); err != nil {
+		return err
+	}
+	if b.subs == nil {
+		b.subs = make(map[string]string)
+	}
+	b.subs[category] = mode
+	return nil
+}
 
 // Routed returns how many alerts passed the tenant's pipeline.
 func (b *Buddy) Routed() int64 { return b.routed.Load() }
@@ -207,6 +287,16 @@ type Hub struct {
 	cfg    Config
 	wal    *plog.GroupLog
 	shards []*shard
+
+	// The shared delivery machinery: channel registry, ack table, and
+	// the stateless mode executor every delivery worker calls into.
+	channels *core.Channels
+	acks     *core.Acks
+	exec     *core.Executor
+	// The synthesized flat plan profile-less tenants execute: one block,
+	// one action, through the FlatSink substrate channel.
+	flatReg  *addr.Registry
+	flatMode *dmode.Mode
 
 	mu      sync.RWMutex
 	users   map[string]*Buddy
@@ -234,8 +324,11 @@ type Hub struct {
 // New validates the config and opens the hub's WAL. Call AddUser for
 // each tenant, then Start.
 func New(cfg Config) (*Hub, error) {
-	if cfg.Clock == nil || cfg.Sink == nil {
-		return nil, errors.New("hub: Config requires Clock and Sink")
+	if cfg.Clock == nil {
+		return nil, errors.New("hub: Config requires Clock")
+	}
+	if cfg.Sink == nil && cfg.Channels == nil {
+		return nil, errors.New("hub: Config requires a Sink or a Channels registry")
 	}
 	if cfg.WALPath == "" {
 		return nil, errors.New("hub: Config requires WALPath")
@@ -299,6 +392,31 @@ func New(cfg Config) (*Hub, error) {
 		routeLat:   metrics.NewReservoir(cfg.LatencyReservoir),
 		deliverLat: metrics.NewReservoir(cfg.LatencyReservoir),
 	}
+	h.channels = cfg.Channels
+	if h.channels == nil {
+		h.channels = core.NewChannels()
+	}
+	if cfg.Sink != nil {
+		h.channels.Register(addr.TypeSink, FlatSink{Sink: cfg.Sink})
+	}
+	h.acks = core.NewAcks(cfg.Clock)
+	exec, err := core.NewExecutor(cfg.Clock, h.channels, h.acks)
+	if err != nil {
+		_ = wal.Close()
+		return nil, err
+	}
+	h.exec = exec
+	h.flatReg = addr.NewRegistry("hub")
+	if err := h.flatReg.Register(addr.Address{
+		Type: addr.TypeSink, Name: flatAddressName, Target: flatAddressName, Enabled: true,
+	}); err != nil {
+		_ = wal.Close()
+		return nil, err
+	}
+	h.flatMode = &dmode.Mode{
+		Name:   "Flat",
+		Blocks: []dmode.Block{{Actions: []dmode.Action{{Address: flatAddressName}}}},
+	}
 	h.shards = make([]*shard, cfg.Shards)
 	for i := range h.shards {
 		sh := newShard(i, cfg.QueueDepth, cfg.RNG.Fork(fmt.Sprintf("hub-shard-%d", i)))
@@ -306,6 +424,51 @@ func New(cfg Config) (*Hub, error) {
 		h.shards[i] = sh
 	}
 	return h, nil
+}
+
+// Executor returns the hub's shared mode executor.
+func (h *Hub) Executor() *core.Executor { return h.exec }
+
+// Channels returns the hub's delivery channel registry. Channels may
+// be registered (or swapped) at run time; deliveries in flight keep
+// the channel they looked up.
+func (h *Hub) Channels() *core.Channels { return h.channels }
+
+// HandleIncoming feeds an inbound IM to the shared ack table. If the
+// message acknowledges an IM sent by a hosted delivery in flight, the
+// waiting block resolves and HandleIncoming reports true (the message
+// is consumed). Wire the hub's IM endpoint receive callback here.
+func (h *Hub) HandleIncoming(msg im.Message) bool {
+	return h.acks.HandleIncoming(msg)
+}
+
+// plan resolves which registry and delivery mode one routed alert
+// executes: the tenant's subscribed mode for the alert's category when
+// the tenant carries a profile, else the hub's synthesized flat mode
+// (one pass through the FlatSink substrate channel). Personalized
+// blocks without an explicit timeout are bounded by Config.AckTimeout.
+func (h *Hub) plan(b *Buddy, category string) (*addr.Registry, *dmode.Mode) {
+	b.mu.RLock()
+	p := b.profile
+	modeName, subscribed := b.subs[category]
+	b.mu.RUnlock()
+	if p == nil || !subscribed {
+		return h.flatReg, h.flatMode
+	}
+	mode, err := p.Mode(modeName)
+	if err != nil {
+		// The mode was deleted after Subscribe; deliver flat rather
+		// than losing the alert.
+		return h.flatReg, h.flatMode
+	}
+	if h.cfg.AckTimeout > 0 {
+		for i := range mode.Blocks {
+			if mode.Blocks[i].Timeout == 0 {
+				mode.Blocks[i].Timeout = dmode.Duration(h.cfg.AckTimeout)
+			}
+		}
+	}
+	return p.Addresses(), mode
 }
 
 // AddUser registers a tenant. The returned Buddy's pipeline accepts no
@@ -510,7 +673,7 @@ func (h *Hub) process(sh *shard, env envelope) {
 		routed.Keywords = []string{category}
 		b.routed.Add(1)
 		h.counters.Add1("routed")
-		sh.delivery.submit(deliveryJob{env: env, routed: routed, handed: h.cfg.Clock.Now()})
+		sh.delivery.submit(deliveryJob{env: env, routed: routed, category: category, handed: h.cfg.Clock.Now()})
 	}
 }
 
@@ -635,6 +798,10 @@ type Stats struct {
 	MeanBatch float64
 	// InFlight is the current hub-wide count of executing deliveries.
 	InFlight int64
+	// DeliveredByChannel splits successful deliveries by the
+	// communication type that confirmed them (addr.TypeSink is the flat
+	// substrate). Types with zero deliveries are omitted.
+	DeliveredByChannel map[addr.Type]int64
 	// WAL is the journal's segmentation/compaction snapshot: live
 	// segments, checkpoints written, compacted bytes, retired records.
 	WAL plog.Stats
@@ -648,6 +815,14 @@ func (h *Hub) Stats() Stats {
 		Appends: h.wal.Appended(),
 		Syncs:   h.wal.Syncs(),
 		WAL:     h.wal.Stats(),
+	}
+	for _, t := range []addr.Type{addr.TypeIM, addr.TypeSMS, addr.TypeEmail, addr.TypeSink} {
+		if n := h.counters.Get(deliveredViaCounter(t)); n > 0 {
+			if s.DeliveredByChannel == nil {
+				s.DeliveredByChannel = make(map[addr.Type]int64)
+			}
+			s.DeliveredByChannel[t] = n
+		}
 	}
 	if s.Syncs > 0 {
 		s.MeanBatch = float64(s.Appends) / float64(s.Syncs)

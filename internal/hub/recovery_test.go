@@ -68,6 +68,20 @@ func (s *countingSink) count(user, key string) int {
 	return s.counts[user+"/"+key]
 }
 
+// drainArrivals discards buffered arrival signals, so a later
+// waitArrivals observes only deliveries entering the sink after this
+// point. Call it only while the sink is quiescent (e.g. right after
+// waitTotal).
+func (s *countingSink) drainArrivals() {
+	for {
+		select {
+		case <-s.arrived:
+		default:
+			return
+		}
+	}
+}
+
 // waitTotal blocks until n deliveries have completed. Kill abandons
 // in-flight deliveries without waiting for them (Stopped() can fire
 // while a worker is still inside the sink), so tests asserting

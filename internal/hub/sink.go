@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"simba/internal/alert"
+	"simba/internal/core"
 	"simba/internal/dist"
 	"simba/internal/metrics"
 )
@@ -16,6 +17,23 @@ type FuncSink func(shard int, user string, a *alert.Alert) error
 // Deliver implements Sink.
 func (f FuncSink) Deliver(shard int, user string, a *alert.Alert) error {
 	return f(shard, user, a)
+}
+
+// FlatSink adapts the deprecated flat Sink to the executor's Channel
+// interface. The hub registers it under addr.TypeSink so tenants
+// without a personalized delivery mode execute the synthesized flat
+// mode through it: one action, confirmed on accept. The shard and
+// tenant come from the delivery context, not the address target.
+type FlatSink struct {
+	Sink Sink
+}
+
+// Send implements core.Channel.
+func (f FlatSink) Send(req core.Send) (core.SendResult, error) {
+	if err := f.Sink.Deliver(req.Shard, req.User, req.Alert); err != nil {
+		return core.SendResult{}, err
+	}
+	return core.SendResult{Confirmed: true}, nil
 }
 
 // SimSink is a simulated delivery substrate for hub-load experiments:

@@ -154,6 +154,10 @@ func TestHubCrashDuringWALCheckpoint(t *testing.T) {
 		t.Fatalf("checkpoint generation = %d, want 1", gen)
 	}
 	// Phase 2 is parked inside the delivery window when the crash fires.
+	// Phase 1's arrival signals are stale by now — drain them so
+	// waitArrivals below waits for phase 2's parked deliveries, not
+	// buffered history.
+	sink.drainArrivals()
 	hold := make(chan struct{})
 	sink.hold = hold
 	for i := phase1; i < phase1+phase2; i++ {

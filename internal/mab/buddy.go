@@ -106,6 +106,11 @@ type Config struct {
 	OnEmailLaunch func(*automation.EmailClientApp)
 	// OnDelivery observes every routing attempt (metrics). Optional.
 	OnDelivery func(a *alert.Alert, sub core.Subscription, rep *core.Report, err error)
+	// ConfigureChannels runs against each fresh incarnation's channel
+	// registry after the built-in IM/email channels are registered —
+	// e.g. to add a direct-carrier SMS channel (core.NewSMSChannel) or
+	// replace a built-in. Optional.
+	ConfigureChannels func(*core.Channels)
 	// OnReceive observes every alert accepted by the buddy, stamped
 	// with the (virtual) arrival time. Optional.
 	OnReceive func(a *alert.Alert, at time.Time)
@@ -327,6 +332,7 @@ type incarnation struct {
 	imMgr *commgr.IMManager
 	emMgr *commgr.EmailManager
 	eng   *core.Engine
+	exec  *core.Executor // the engine's mode executor; shared delivery logic with the hub
 	log   *plog.Log
 	stab  *stabilize.Stabilizer
 
@@ -390,6 +396,9 @@ func (s *Service) newIncarnation() (*incarnation, error) {
 		log.Close()
 		return fail(err)
 	}
+	if cfg.ConfigureChannels != nil {
+		cfg.ConfigureChannels(eng.Channels())
+	}
 	inc := &incarnation{
 		svc:    s,
 		clk:    cfg.Clock,
@@ -397,6 +406,7 @@ func (s *Service) newIncarnation() (*incarnation, error) {
 		imMgr:  imMgr,
 		emMgr:  emMgr,
 		eng:    eng,
+		exec:   eng.Executor(),
 		log:    log,
 		routeQ: make(chan *alert.Alert, routeQueueSize),
 		exited: make(chan struct{}),
@@ -691,29 +701,38 @@ func (inc *incarnation) route(a *alert.Alert) {
 		return
 	}
 	for _, sub := range subs {
-		profile, err := svc.store.User(sub.User)
-		if err != nil {
-			svc.counters.Add1("undeliverable")
-			continue
-		}
-		mode, err := profile.Mode(sub.Mode)
-		if err != nil {
-			svc.counters.Add1("undeliverable")
-			continue
-		}
-		routed := a.Clone()
-		routed.Keywords = []string{category}
-		rep, err := inc.eng.Deliver(routed, profile.Addresses(), mode)
-		if err != nil {
-			svc.counters.Add1("undeliverable")
-		} else {
-			svc.counters.Add1("delivered")
-		}
-		if svc.cfg.OnDelivery != nil {
-			svc.cfg.OnDelivery(routed, sub, rep, err)
-		}
+		inc.routeOne(a, category, sub)
 	}
 	svc.counters.Add1("routed")
+}
+
+// routeOne executes one subscription's delivery mode for a routed
+// alert, delegating mode → block fallback → action execution to the
+// shared core.Executor (the same code path the hub's delivery workers
+// run).
+func (inc *incarnation) routeOne(a *alert.Alert, category string, sub core.Subscription) {
+	svc := inc.svc
+	profile, err := svc.store.User(sub.User)
+	if err != nil {
+		svc.counters.Add1("undeliverable")
+		return
+	}
+	mode, err := profile.Mode(sub.Mode)
+	if err != nil {
+		svc.counters.Add1("undeliverable")
+		return
+	}
+	routed := a.Clone()
+	routed.Keywords = []string{category}
+	rep, err := inc.exec.DeliverAs(core.DeliveryContext{User: sub.User}, routed, profile.Addresses(), mode)
+	if err != nil {
+		svc.counters.Add1("undeliverable")
+	} else {
+		svc.counters.Add1("delivered")
+	}
+	if svc.cfg.OnDelivery != nil {
+		svc.cfg.OnDelivery(routed, sub, rep, err)
+	}
 }
 
 // watchProc terminates the incarnation when its process dies (machine

@@ -49,8 +49,29 @@ type (
 	Profile = core.Profile
 	// Store is the subscription layer.
 	Store = core.Store
-	// Engine executes delivery modes.
+	// Engine is the buddy-side delivery shell over the mode executor.
 	Engine = core.Engine
+	// Executor is the stateless, reentrant delivery-mode executor
+	// shared by the buddy and the hub.
+	Executor = core.Executor
+	// Channel delivers one delivery-mode action over one communication
+	// type.
+	Channel = core.Channel
+	// ChannelFunc adapts a function to Channel.
+	ChannelFunc = core.ChannelFunc
+	// ChannelRegistry maps communication types to channels.
+	ChannelRegistry = core.Channels
+	// SendRequest is one action-level delivery request handed to a
+	// channel.
+	SendRequest = core.Send
+	// SendResult describes one channel send.
+	SendResult = core.SendResult
+	// DeliveryContext carries the hosting identity of one delivery.
+	DeliveryContext = core.DeliveryContext
+	// ActionError is one action failure in debuggable form.
+	ActionError = core.ActionError
+	// Acks tracks pending IM acknowledgements across deliveries.
+	Acks = core.Acks
 	// Target bundles an engine, registry, and mode.
 	Target = core.Target
 	// Clock abstracts time (real or simulated).
@@ -112,6 +133,8 @@ const (
 	TypeIM    = addr.TypeIM
 	TypeSMS   = addr.TypeSMS
 	TypeEmail = addr.TypeEmail
+	// TypeSink is the hub's flat-substrate pseudo-channel.
+	TypeSink = addr.TypeSink
 )
 
 // Classifier keyword-extraction strategies.
@@ -146,3 +169,15 @@ func ParseDeliveryMode(data []byte) (*DeliveryMode, error) { return dmode.Unmars
 // SMSGatewayAddress returns the email-style carrier gateway address
 // for a phone number.
 func SMSGatewayAddress(number string) string { return sms.GatewayAddress(number) }
+
+// NewChannelRegistry returns an empty delivery-channel registry, for
+// wiring custom channels into a hub (hub.Config.Channels).
+func NewChannelRegistry() *ChannelRegistry { return core.NewChannels() }
+
+// DirectSMSChannel returns a delivery channel that texts the carrier
+// directly instead of riding the email-to-SMS gateway. Register it
+// under TypeSMS via BuddyOptions.ConfigureChannels (buddy) or a
+// channel registry handed to the hub.
+func DirectSMSChannel(carrier *SMSCarrier, fromNumber string) Channel {
+	return core.NewSMSChannel(carrier, fromNumber)
+}
