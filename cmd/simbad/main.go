@@ -14,10 +14,18 @@
 //
 // Usage:
 //
-//	simbad [-hours N]
+//	simbad [-hours N] [-pprof ADDR]
 //	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
 //	       [-wal-segment-bytes B] [-wal-checkpoint-every R]
 //	       [-mode-frac F] [-ack-timeout D] [-im-ack-p P]
+//	       [-burst B] [-route-batch R] [-pprof ADDR]
+//
+// With -burst > 1 the portal workload is offered through
+// Hub.SubmitBatch in bursts of that size (amortizing the group-commit
+// durability wait across each burst); -route-batch caps how many
+// queued alerts a shard loop routes per wakeup. -pprof serves
+// net/http/pprof on the given address (e.g. localhost:6060) for
+// profiling either mode while it runs.
 //
 // A -mode-frac fraction of hosted tenants carries a personalized
 // "IM with acknowledgement, fallback email" delivery mode executed by
@@ -32,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync"
@@ -66,13 +76,25 @@ func main() {
 	modeFrac := flag.Float64("mode-frac", 0.1, "hub: fraction of tenants with a personalized IM-then-email delivery mode")
 	ackTimeout := flag.Duration("ack-timeout", 50*time.Millisecond, "hub: ack wait before a hosted mode block falls back")
 	imAckP := flag.Float64("im-ack-p", 0.7, "hub: probability a hosted IM delivery is acknowledged")
+	burst := flag.Int("burst", 1, "hub: submit alerts in SubmitBatch bursts of this size (1 = one-at-a-time Submit)")
+	routeBatch := flag.Int("route-batch", 0, "hub: max queued alerts a shard loop routes per wakeup (0 = default, 1 = alert-at-a-time)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 	if *hubMode {
 		if err := runHub(hubParams{
 			users: *users, shards: *shards, alerts: *alerts,
 			window: *window, deliveryWindow: *deliveryWindow, seed: *seed,
 			walSegBytes: *walSegBytes, walCkptEvery: *walCkptEvery,
 			modeFrac: *modeFrac, ackTimeout: *ackTimeout, imAckP: *imAckP,
+			burst: *burst, routeBatch: *routeBatch,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -204,6 +226,7 @@ type hubParams struct {
 	modeFrac                  float64
 	ackTimeout                time.Duration
 	imAckP                    float64
+	burst, routeBatch         int
 }
 
 // runHub hosts N tenants behind a K-way sharded hub and drives a
@@ -221,6 +244,9 @@ func runHub(p hubParams) error {
 	}
 	if p.modeFrac < 0 || p.modeFrac > 1 || p.imAckP < 0 || p.imAckP > 1 {
 		return fmt.Errorf("simbad: -mode-frac and -im-ack-p must be in [0,1]")
+	}
+	if p.burst < 1 {
+		return fmt.Errorf("simbad: -burst must be >= 1")
 	}
 	tmp, err := os.MkdirTemp("", "simbad-hub")
 	if err != nil {
@@ -271,6 +297,7 @@ func runHub(p hubParams) error {
 		RNG:                rng,
 		WALSegmentBytes:    p.walSegBytes,
 		WALCheckpointEvery: p.walCkptEvery,
+		RouteBatch:         p.routeBatch,
 	})
 	if err != nil {
 		return err
@@ -320,32 +347,57 @@ func runHub(p hubParams) error {
 	start := time.Now()
 	var wg sync.WaitGroup
 	errc := make(chan error, workers)
+	makeAlert := func(i int) hub.Submission {
+		return hub.Submission{
+			User: fmt.Sprintf("user-%d", i%users),
+			Alert: &alert.Alert{
+				ID:       fmt.Sprintf("a-%d", i),
+				Source:   "portal",
+				Keywords: []string{"stocks"},
+				Subject:  "quote update",
+				Urgency:  alert.UrgencyNormal,
+				Created:  clk.Now(),
+			},
+		}
+	}
+	// Each worker owns a contiguous range of the alert index space and
+	// offers it either one alert at a time (the Submit path) or in
+	// SubmitBatch bursts; overloaded entries retry after the hint.
+	per := (alerts + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < alerts; i += workers {
-				user := fmt.Sprintf("user-%d", i%users)
-				a := &alert.Alert{
-					ID:       fmt.Sprintf("a-%d", i),
-					Source:   "portal",
-					Keywords: []string{"stocks"},
-					Subject:  "quote update",
-					Urgency:  alert.UrgencyNormal,
-					Created:  clk.Now(),
+			lo, hi := w*per, (w+1)*per
+			if hi > alerts {
+				hi = alerts
+			}
+			burst := make([]hub.Submission, 0, p.burst)
+			for i := lo; i < hi; i += p.burst {
+				burst = burst[:0]
+				for k := i; k < i+p.burst && k < hi; k++ {
+					burst = append(burst, makeAlert(k))
 				}
-				for {
-					err := h.Submit(user, a)
-					var over *hub.OverloadError
-					if errors.As(err, &over) {
-						time.Sleep(over.RetryAfter)
-						continue
+				for len(burst) > 0 {
+					errs := h.SubmitBatch(burst)
+					retry := burst[:0]
+					var hint time.Duration
+					for idx, err := range errs {
+						var over *hub.OverloadError
+						if errors.As(err, &over) {
+							retry = append(retry, burst[idx])
+							hint = over.RetryAfter
+							continue
+						}
+						if err != nil {
+							errc <- err
+							return
+						}
 					}
-					if err != nil {
-						errc <- err
-						return
+					burst = retry
+					if len(burst) > 0 {
+						time.Sleep(hint)
 					}
-					break
 				}
 			}
 		}(w)
@@ -373,6 +425,7 @@ func runHub(p hubParams) error {
 		float64(w.CompactedBytes)/(1<<20), w.Retired, float64(w.DiskBytes)/(1<<20))
 	fmt.Printf("fsync latency (µs): %s\n", h.WALFsyncLatency())
 	fmt.Printf("commit batch sizes (records): %s\n", h.WALBatchSizes())
+	fmt.Printf("staged ingest batch sizes (alerts): %s\n", w.StagedBatches)
 	lat := h.Latency().Summarize()
 	fmt.Printf("end-to-end latency: mean %v, p50 %v, p99 %v (n=%d)\n",
 		lat.Mean.Round(time.Microsecond), lat.P50.Round(time.Microsecond),

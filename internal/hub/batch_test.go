@@ -1,0 +1,413 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dist"
+	"simba/internal/faults"
+	"simba/internal/plog"
+)
+
+// batchStream builds one user's deterministic alert mix: mostly routed
+// "stocks" alerts, every 5th re-submitted as a duplicate, every 7th
+// filtered (disabled "Muted" category), every 11th rejected (source
+// the classifier does not accept).
+func batchStream(user string, n int, at time.Time) []Submission {
+	var subs []Submission
+	for i := 0; i < n; i++ {
+		a := portalAlert(i, at)
+		a.ID = fmt.Sprintf("a-%s-%d", user, i)
+		switch {
+		case i > 0 && i%11 == 0:
+			a.Source = "spam-bot"
+		case i > 0 && i%7 == 0:
+			a.Keywords = []string{"muted"}
+		}
+		subs = append(subs, Submission{User: user, Alert: a})
+		if i%5 == 0 {
+			subs = append(subs, Submission{User: user, Alert: a.Clone()})
+		}
+	}
+	return subs
+}
+
+// addBatchUsers is addUsers plus the muted-category wiring the
+// batchStream mix exercises.
+func addBatchUsers(t testing.TB, h *Hub, n int) {
+	t.Helper()
+	addUsers(t, h, n)
+	for i := 0; i < n; i++ {
+		b, ok := h.buddy(fmt.Sprintf("user-%d", i))
+		if !ok {
+			t.Fatalf("user-%d missing", i)
+		}
+		b.Pipeline().Aggregator.Map("muted", "Muted")
+		b.Pipeline().Filter.SetEnabled("Muted", false)
+	}
+}
+
+// equivalenceCounters picks the counters the equivalence test compares.
+var equivalenceCounters = []string{
+	"received", "duplicates", "routed", "rejected", "filtered",
+	"delivered", "rejects-overload", "mark-failed", "undeliverable",
+}
+
+// TestHubSubmitBatchMatchesSubmit is the equivalence property test: the
+// same alert stream driven through Submit one-at-a-time and through
+// SubmitBatch bursts of varied sizes must yield identical hub counters,
+// identical per-user delivery order, and identical WAL record sets.
+// Run under -race in CI: one goroutine per user keeps each user's
+// submission order fixed while cross-user interleaving races freely.
+func TestHubSubmitBatchMatchesSubmit(t *testing.T) {
+	const users, perUser = 24, 30
+	clk := clock.NewReal()
+
+	// The same streams drive both variants; nothing in the ingest path
+	// mutates a submitted alert (routing annotates the hub's private
+	// clone), so sharing the pointers is safe.
+	streams := make([][]Submission, users)
+	var wantKeys []string
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		streams[u] = batchStream(user, perUser, clk.Now())
+		seen := make(map[string]bool)
+		for _, s := range streams[u] {
+			key := s.User + keySep + s.Alert.DedupKey()
+			if !seen[key] {
+				seen[key] = true
+				wantKeys = append(wantKeys, key)
+			}
+		}
+	}
+
+	type result struct {
+		counters  map[string]int64
+		sequences map[string][]string
+		walLive   int
+	}
+	run := func(name string, drive func(h *Hub, stream []Submission)) result {
+		sink := newOrderSink(dist.NewRNG(23), 4, 200)
+		walPath := filepath.Join(t.TempDir(), name+".wal")
+		h := newTestHub(t, Config{
+			Clock: clk, Sink: sink, WALPath: walPath,
+			Shards: 4, QueueDepth: 1024,
+			CommitWindow: 500 * time.Microsecond,
+		})
+		addBatchUsers(t, h, users)
+		if err := h.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func(stream []Submission) {
+				defer wg.Done()
+				drive(h, stream)
+			}(streams[u])
+		}
+		wg.Wait()
+		if err := h.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		r := result{
+			counters:  make(map[string]int64),
+			sequences: make(map[string][]string),
+		}
+		for _, c := range equivalenceCounters {
+			r.counters[c] = h.Counters().Get(c)
+		}
+		for u := 0; u < users; u++ {
+			user := fmt.Sprintf("user-%d", u)
+			r.sequences[user] = sink.sequence(user)
+		}
+		l, err := plog.Open(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		r.walLive = l.Len()
+		if un := l.Unprocessed(); len(un) != 0 {
+			t.Fatalf("%s: %d unprocessed WAL records after drain", name, len(un))
+		}
+		for _, key := range wantKeys {
+			if !l.Has(key) || !l.IsProcessed(key) {
+				t.Fatalf("%s: WAL missing processed record for %q", name, key)
+			}
+		}
+		return r
+	}
+
+	// Queue capacity (4 shards × 1024) exceeds the whole workload, so
+	// overload is impossible and neither variant needs a retry loop —
+	// which would otherwise let a retried burst reorder a user's stream.
+	seq := run("submit", func(h *Hub, stream []Submission) {
+		for _, s := range stream {
+			if err := h.Submit(s.User, s.Alert); err != nil {
+				t.Errorf("submit %s: %v", s.User, err)
+			}
+		}
+	})
+	burstSizes := []int{7, 1, 16, 64, 3} // varied, including 1 and RouteBatch-sized
+	batch := run("submit-batch", func(h *Hub, stream []Submission) {
+		for next, si := 0, 0; next < len(stream); si++ {
+			end := next + burstSizes[si%len(burstSizes)]
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for i, err := range h.SubmitBatch(stream[next:end]) {
+				if err != nil {
+					t.Errorf("submit batch %s: %v", stream[next+i].User, err)
+				}
+			}
+			next = end
+		}
+	})
+
+	if !reflect.DeepEqual(seq.counters, batch.counters) {
+		t.Errorf("counters diverge:\n  submit:      %v\n  submitBatch: %v", seq.counters, batch.counters)
+	}
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		if !reflect.DeepEqual(seq.sequences[user], batch.sequences[user]) {
+			t.Errorf("%s delivery order diverges:\n  submit:      %v\n  submitBatch: %v",
+				user, seq.sequences[user], batch.sequences[user])
+		}
+	}
+	if seq.walLive != batch.walLive {
+		t.Errorf("WAL record counts diverge: submit=%d submitBatch=%d", seq.walLive, batch.walLive)
+	}
+}
+
+// TestHubCrashBetweenBatchFsyncAndEnqueue arms the batched-ingest
+// fault: SubmitBatch makes a burst durable and acknowledges it, then
+// the hub dies before enqueuing any entry. The next incarnation must
+// replay and deliver every acknowledged alert exactly once, in
+// per-user submission order, and re-submitting the burst afterwards
+// must dedup — no second delivery.
+func TestHubCrashBetweenBatchFsyncAndEnqueue(t *testing.T) {
+	const users, perUser = 8, 6
+	clk := clock.NewReal()
+	walPath := filepath.Join(t.TempDir(), "crash.wal")
+	crash := faults.NewFlag("crash-after-batch-fsync")
+	journal := &faults.Journal{}
+	sink1 := newOrderSink(dist.NewRNG(31), 4, 0)
+	h1, err := New(Config{
+		Clock: clk, Sink: sink1, WALPath: walPath, Shards: 4, QueueDepth: 256,
+		CrashAfterBatchFsync: crash, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h1, users)
+	if err := h1.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crashing burst is the hub's only traffic, so incarnation 2's
+	// delivery counts are unambiguous.
+	var burst []Submission
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		for i := 0; i < perUser; i++ {
+			a := portalAlert(i, clk.Now())
+			a.ID = fmt.Sprintf("a-%s-%d", user, i)
+			burst = append(burst, Submission{User: user, Alert: a})
+		}
+	}
+	crash.Set(true, clk.Now())
+	for i, err := range h1.SubmitBatch(burst) {
+		if err != nil {
+			t.Fatalf("burst entry %d not acknowledged despite durable batch: %v", i, err)
+		}
+	}
+	select {
+	case <-h1.Stopped():
+	case <-time.After(15 * time.Second):
+		t.Fatal("hub did not stop after injected crash")
+	}
+	if got := journal.Count(faults.KindFaultInjected); got != 1 {
+		t.Fatalf("journaled %d injected faults, want 1", got)
+	}
+	for u := 0; u < users; u++ {
+		if got := sink1.sequence(fmt.Sprintf("user-%d", u)); len(got) != 0 {
+			t.Fatalf("incarnation 1 delivered %v inside the crash window", got)
+		}
+	}
+
+	// Incarnation 2: replay covers the acknowledged-but-unrouted burst.
+	crash.Set(false, clk.Now())
+	sink2 := newOrderSink(dist.NewRNG(37), 4, 0)
+	h2, err := New(Config{Clock: clk, Sink: sink2, WALPath: walPath, Shards: 4, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h2, users)
+	if err := h2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Counters().Get("replayed"); got != int64(len(burst)) {
+		t.Fatalf("replayed = %d, want %d", got, len(burst))
+	}
+	// Post-dedup: re-submitting the acked burst re-acks idempotently.
+	for i, err := range h2.SubmitBatch(burst) {
+		if err != nil {
+			t.Fatalf("re-submit entry %d: %v", i, err)
+		}
+	}
+	if got := h2.Counters().Get("duplicates"); got != int64(len(burst)) {
+		t.Fatalf("duplicates = %d, want %d", got, len(burst))
+	}
+	if err := h2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		got := sink2.sequence(user)
+		if len(got) != perUser {
+			t.Fatalf("%s delivered %d alerts, want exactly %d: %v", user, len(got), perUser, got)
+		}
+		for i, id := range got {
+			if want := fmt.Sprintf("a-%s-%d", user, i); id != want {
+				t.Fatalf("%s delivery %d = %s, want %s (replay order lost)", user, i, id, want)
+			}
+		}
+	}
+	l, err := plog.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if un := l.Unprocessed(); len(un) != 0 {
+		t.Fatalf("%d unprocessed WAL records after replay + drain", len(un))
+	}
+}
+
+// TestSubmitBatchPartialErrors mixes an invalid alert and an unknown
+// user into one burst: those entries fail with Submit's exact errors
+// while the rest of the burst is acknowledged and delivered.
+func TestSubmitBatchPartialErrors(t *testing.T) {
+	clk := clock.NewReal()
+	sink := newOrderSink(dist.NewRNG(41), 2, 0)
+	h := newTestHub(t, Config{Clock: clk, Sink: sink, Shards: 2, QueueDepth: 64})
+	addUsers(t, h, 2)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	good := portalAlert(0, clk.Now())
+	good.ID = "a-good"
+	burst := []Submission{
+		{User: "user-0", Alert: good},
+		{User: "user-0", Alert: &alert.Alert{Source: "portal"}}, // invalid: no ID
+		{User: "nobody", Alert: portalAlert(1, clk.Now())},
+		{User: "user-1", Alert: good.Clone()}, // same alert, different tenant: distinct WAL key
+	}
+	errs := h.SubmitBatch(burst)
+	if errs[0] != nil {
+		t.Fatalf("valid entry: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid alert acknowledged")
+	}
+	if !errors.Is(errs[2], ErrUnknownUser) {
+		t.Fatalf("unknown-user entry = %v, want ErrUnknownUser", errs[2])
+	}
+	if errs[3] != nil {
+		t.Fatalf("user-1 entry: %v", errs[3])
+	}
+	// Re-submitting the acked alert twice in one burst: both are
+	// idempotent re-acks, including the burst-internal repeat.
+	again := h.SubmitBatch([]Submission{
+		{User: "user-0", Alert: good.Clone()},
+		{User: "user-0", Alert: good.Clone()},
+	})
+	if again[0] != nil || again[1] != nil {
+		t.Fatalf("duplicate re-ack failed: %v", again)
+	}
+	if got := h.Counters().Get("duplicates"); got != 2 {
+		t.Fatalf("duplicates = %d, want 2", got)
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.sequence("user-0"); len(got) != 1 || got[0] != "a-good" {
+		t.Fatalf("user-0 deliveries = %v, want just a-good", got)
+	}
+	if got := sink.sequence("user-1"); len(got) != 1 {
+		t.Fatalf("user-1 deliveries = %v, want one", got)
+	}
+	if got := h.Counters().Get("rejected-invalid"); got != 1 {
+		t.Fatalf("rejected-invalid = %d, want 1", got)
+	}
+	if got := h.Counters().Get("rejected-unknown-user"); got != 1 {
+		t.Fatalf("rejected-unknown-user = %d, want 1", got)
+	}
+}
+
+// TestSubmitBatchBulkOverload fills a one-shard hub whose deliveries
+// are gated shut, then offers a burst twice the queue depth: the bulk
+// reservation grants exactly the shard's free capacity, the admitted
+// prefix is acked, and the overflow fails per-entry with OverloadError
+// — never logged, never delivered.
+func TestSubmitBatchBulkOverload(t *testing.T) {
+	clk := clock.NewReal()
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+	sink := FuncSink(func(shard int, user string, a *alert.Alert) error {
+		<-gate
+		return nil
+	})
+	h := newTestHub(t, Config{
+		Clock: clk, Sink: sink, Shards: 1, QueueDepth: 4, DeliveryWindow: 1,
+	})
+	addUsers(t, h, 1)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var burst []Submission
+	for i := 0; i < 8; i++ {
+		a := portalAlert(i, clk.Now())
+		a.ID = fmt.Sprintf("a-ov-%d", i)
+		burst = append(burst, Submission{User: "user-0", Alert: a})
+	}
+	errs := h.SubmitBatch(burst)
+	for i, err := range errs {
+		if i < 4 {
+			if err != nil {
+				t.Fatalf("entry %d inside capacity: %v", i, err)
+			}
+			continue
+		}
+		var over *OverloadError
+		if !errors.As(err, &over) {
+			t.Fatalf("entry %d = %v, want OverloadError", i, err)
+		}
+		if over.Shard != 0 || over.RetryAfter <= 0 {
+			t.Fatalf("entry %d overload detail: %+v", i, over)
+		}
+		// The rejected alert was never logged, so a retry cannot be
+		// mistaken for a duplicate.
+		if h.wal.Has("user-0" + keySep + burst[i].Alert.DedupKey()) {
+			t.Fatalf("overloaded entry %d was logged", i)
+		}
+	}
+	if got := h.Counters().Get("rejects-overload"); got != 4 {
+		t.Fatalf("rejects-overload = %d, want 4", got)
+	}
+	openGate()
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Counters().Get("delivered"); got != 4 {
+		t.Fatalf("delivered = %d, want 4", got)
+	}
+}

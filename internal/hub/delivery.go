@@ -71,24 +71,35 @@ func newDeliveryStage(h *Hub, sh *shard) *deliveryStage {
 	}
 }
 
-// submit hands a routed alert to the stage. Called only from the shard
-// loop, so jobs for one user arrive in routing order; it never blocks —
-// backlog is bounded by the shard's admission depth, whose reservation
-// is held until the delivery completes.
-func (d *deliveryStage) submit(job deliveryJob) {
-	user := job.env.buddy.user
-	d.mu.Lock()
-	if q, ok := d.users[user]; ok {
-		// The user has a live worker: chain behind it (per-user FIFO).
-		q.jobs = append(q.jobs, job)
-		d.mu.Unlock()
-		return
+// submitBatch hands a burst of routed alerts to the stage under a
+// single lock acquisition. Called only from the shard loop, so jobs
+// for one user arrive in routing order; it never blocks — backlog is
+// bounded by the shard's admission depth, whose reservation is held
+// until each delivery completes. Workers for users without a live
+// chain are spawned after the lock is dropped.
+func (d *deliveryStage) submitBatch(jobs []deliveryJob) {
+	type spawn struct {
+		user string
+		q    *userQueue
 	}
-	q := &userQueue{jobs: []deliveryJob{job}}
-	d.users[user] = q
+	var spawns []spawn
+	d.mu.Lock()
+	for _, job := range jobs {
+		user := job.env.buddy.user
+		if q, ok := d.users[user]; ok {
+			// The user has a live worker: chain behind it (per-user FIFO).
+			q.jobs = append(q.jobs, job)
+			continue
+		}
+		q := &userQueue{jobs: []deliveryJob{job}}
+		d.users[user] = q
+		spawns = append(spawns, spawn{user: user, q: q})
+	}
+	d.wg.Add(len(spawns))
 	d.mu.Unlock()
-	d.wg.Add(1)
-	go d.runUser(user, q)
+	for _, s := range spawns {
+		go d.runUser(s.user, s.q)
+	}
 }
 
 // runUser drains one tenant's chain, job by job. The worker exits when
@@ -160,15 +171,19 @@ func (d *deliveryStage) perform(job deliveryJob) {
 		}
 		if err == nil {
 			b.delivered.Add(1)
-			h.counters.Add1("delivered")
-			h.counters.Add1(deliveredViaCounter(rep.DeliveredType()))
+			h.ctr.delivered.Add1()
+			if via, ok := h.deliveredVia[rep.DeliveredType()]; ok {
+				via.Add1()
+			} else {
+				h.counters.Add1(deliveredViaCounter(rep.DeliveredType()))
+			}
 			break
 		}
 		if attempt >= h.cfg.DeliveryMaxAttempts {
-			h.counters.Add1("undeliverable")
+			h.ctr.undeliverable.Add1()
 			break
 		}
-		h.counters.Add1("delivery-retries")
+		h.ctr.deliveryRetries.Add1()
 		if !d.backoff(attempt) {
 			return // killed mid-backoff
 		}
@@ -184,7 +199,7 @@ func (d *deliveryStage) perform(job deliveryJob) {
 	default:
 	}
 	if err := h.wal.MarkProcessedAsync(job.env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
-		h.counters.Add1("mark-failed")
+		h.ctr.markFailed.Add1()
 	}
 	h.latency.Observe(h.cfg.Clock.Since(job.env.at))
 	d.sh.release()

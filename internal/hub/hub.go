@@ -83,6 +83,10 @@ const (
 	// short runs never pay for a checkpoint, small enough that a
 	// long-lived hub's disk and restart time stay bounded.
 	DefaultWALCheckpointEvery = 65536
+	// DefaultRouteBatch caps how many queued envelopes a shard loop
+	// drains per wakeup, amortizing per-alert WAL staging and delivery
+	// handoff costs across the drained batch.
+	DefaultRouteBatch = 64
 )
 
 // keySep joins the tenant ID and the alert's dedup key inside WAL
@@ -206,12 +210,24 @@ type Config struct {
 	// DeliveryBackoffCap caps the exponential backoff; zero means
 	// DefaultDeliveryBackoffCap.
 	DeliveryBackoffCap time.Duration
+	// RouteBatch caps how many queued envelopes a shard loop drains and
+	// evaluates per wakeup; reject/filter verdicts from one drain stage
+	// their WAL DONE records as a single batch and delivery jobs are
+	// handed off under one delivery-stage lock acquisition. Zero means
+	// DefaultRouteBatch; one restores strict alert-at-a-time routing.
+	RouteBatch int
 	// CrashBeforeMark is a fault-injection point: when the flag is
 	// active, a delivery worker that has just executed a delivery kills
 	// the whole hub before marking the alert processed — the paper's
 	// crash-between-routing-and-marking window, now inside the
 	// asynchronous delivery stage. Optional.
 	CrashBeforeMark *faults.Flag
+	// CrashAfterBatchFsync is a fault-injection point for the batched
+	// ingest path: when the flag is active, SubmitBatch kills the hub
+	// after its RECV batch is durable but before any entry is enqueued
+	// — the window where alerts are acknowledged yet not routed, which
+	// the next incarnation must cover by replay. Optional.
+	CrashAfterBatchFsync *faults.Flag
 }
 
 // Buddy is one hosted tenant: the per-user MyAlertBuddy pipeline
@@ -223,11 +239,20 @@ type Buddy struct {
 	user string
 	pipe *mab.Pipeline
 
-	mu      sync.RWMutex
-	profile *core.Profile
-	subs    map[string]string // routing category → delivery-mode name
+	// Delivery state is copy-on-write: mutators rebuild a buddyState
+	// and swap it in, so plan() on the routing hot path reads the
+	// profile and subscriptions without any lock.
+	mu    sync.Mutex // serializes SetProfile/Subscribe
+	state atomic.Pointer[buddyState]
 
 	routed, rejected, filtered, delivered atomic.Int64
+}
+
+// buddyState is one immutable snapshot of a tenant's delivery
+// configuration.
+type buddyState struct {
+	profile *core.Profile
+	subs    map[string]string // routing category → delivery-mode name
 }
 
 // User returns the tenant's user ID.
@@ -242,15 +267,21 @@ func (b *Buddy) Pipeline() *mab.Pipeline { return b.pipe }
 // hub's delivery workers; all other alerts use the flat substrate.
 func (b *Buddy) SetProfile(p *core.Profile) {
 	b.mu.Lock()
-	b.profile = p
+	cur := b.state.Load()
+	next := &buddyState{profile: p}
+	if cur != nil {
+		next.subs = cur.subs // immutable once published; safe to share
+	}
+	b.state.Store(next)
 	b.mu.Unlock()
 }
 
 // Profile returns the tenant's delivery profile (nil when flat).
 func (b *Buddy) Profile() *core.Profile {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.profile
+	if s := b.state.Load(); s != nil {
+		return s.profile
+	}
+	return nil
 }
 
 // Subscribe maps a routing category to one of the profile's delivery
@@ -262,16 +293,19 @@ func (b *Buddy) Subscribe(category, mode string) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.profile == nil {
+	cur := b.state.Load()
+	if cur == nil || cur.profile == nil {
 		return fmt.Errorf("hub: subscribe %s/%s: tenant has no profile", b.user, category)
 	}
-	if _, err := b.profile.Mode(mode); err != nil {
+	if _, err := cur.profile.Mode(mode); err != nil {
 		return err
 	}
-	if b.subs == nil {
-		b.subs = make(map[string]string)
+	next := &buddyState{profile: cur.profile, subs: make(map[string]string, len(cur.subs)+1)}
+	for k, v := range cur.subs {
+		next.subs[k] = v
 	}
-	b.subs[category] = mode
+	next.subs[category] = mode
+	b.state.Store(next)
 	return nil
 }
 
@@ -312,7 +346,19 @@ type Hub struct {
 	loops     sync.WaitGroup
 
 	counters *metrics.CounterSet
-	latency  *metrics.Recorder
+	// Hot-path counter handles, resolved once in New: bumping one is a
+	// single striped atomic add — no name lookup, no mutex.
+	ctr struct {
+		received, duplicates, rejectsOverload, rejectedInvalid, rejectedUnknownUser *metrics.Counter
+		routed, rejected, filtered, markFailed                                      *metrics.Counter
+		delivered, undeliverable, deliveryRetries                                   *metrics.Counter
+	}
+	// deliveredVia maps the standard channel types to their resolved
+	// delivered-via-<type> counters; unknown types fall back to a name
+	// lookup.
+	deliveredVia map[addr.Type]*metrics.Counter
+
+	latency *metrics.Recorder
 	// Per-stage latency split: time in the shard inbound queue, pipeline
 	// evaluation on the shard loop, and handoff → delivery completion
 	// (chain/window wait + sink attempts + backoff).
@@ -363,6 +409,9 @@ func New(cfg Config) (*Hub, error) {
 	if cfg.RNG == nil {
 		cfg.RNG = dist.NewRNG(1)
 	}
+	if cfg.RouteBatch <= 0 {
+		cfg.RouteBatch = DefaultRouteBatch
+	}
 	switch {
 	case cfg.WALCheckpointEvery == 0:
 		cfg.WALCheckpointEvery = DefaultWALCheckpointEvery
@@ -391,6 +440,22 @@ func New(cfg Config) (*Hub, error) {
 		queueWait:  metrics.NewReservoir(cfg.LatencyReservoir),
 		routeLat:   metrics.NewReservoir(cfg.LatencyReservoir),
 		deliverLat: metrics.NewReservoir(cfg.LatencyReservoir),
+	}
+	h.ctr.received = h.counters.Counter("received")
+	h.ctr.duplicates = h.counters.Counter("duplicates")
+	h.ctr.rejectsOverload = h.counters.Counter("rejects-overload")
+	h.ctr.rejectedInvalid = h.counters.Counter("rejected-invalid")
+	h.ctr.rejectedUnknownUser = h.counters.Counter("rejected-unknown-user")
+	h.ctr.routed = h.counters.Counter("routed")
+	h.ctr.rejected = h.counters.Counter("rejected")
+	h.ctr.filtered = h.counters.Counter("filtered")
+	h.ctr.markFailed = h.counters.Counter("mark-failed")
+	h.ctr.delivered = h.counters.Counter("delivered")
+	h.ctr.undeliverable = h.counters.Counter("undeliverable")
+	h.ctr.deliveryRetries = h.counters.Counter("delivery-retries")
+	h.deliveredVia = make(map[addr.Type]*metrics.Counter, 4)
+	for _, t := range []addr.Type{addr.TypeIM, addr.TypeSMS, addr.TypeEmail, addr.TypeSink} {
+		h.deliveredVia[t] = h.counters.Counter(deliveredViaCounter(t))
 	}
 	h.channels = cfg.Channels
 	if h.channels == nil {
@@ -447,12 +512,15 @@ func (h *Hub) HandleIncoming(msg im.Message) bool {
 // the tenant carries a profile, else the hub's synthesized flat mode
 // (one pass through the FlatSink substrate channel). Personalized
 // blocks without an explicit timeout are bounded by Config.AckTimeout.
+// Reads the tenant's copy-on-write state snapshot — no locks.
 func (h *Hub) plan(b *Buddy, category string) (*addr.Registry, *dmode.Mode) {
-	b.mu.RLock()
-	p := b.profile
-	modeName, subscribed := b.subs[category]
-	b.mu.RUnlock()
-	if p == nil || !subscribed {
+	s := b.state.Load()
+	if s == nil || s.profile == nil {
+		return h.flatReg, h.flatMode
+	}
+	p := s.profile
+	modeName, subscribed := s.subs[category]
+	if !subscribed {
 		return h.flatReg, h.flatMode
 	}
 	mode, err := p.Mode(modeName)
@@ -565,67 +633,193 @@ func (h *Hub) replay() {
 	}
 }
 
+// Submission is one alert offered to SubmitBatch on behalf of a user.
+type Submission struct {
+	User  string
+	Alert *alert.Alert
+}
+
 // Submit offers one alert for the user. A nil return is the hub's
 // acknowledgement: the alert is durably logged and will be routed (or
 // replayed by the next incarnation). Errors mean NOT acknowledged —
 // OverloadError asks the sender to retry after the hint; other errors
 // indicate rejection (unknown user, invalid alert, closed hub).
+// Submit is the size-1 case of SubmitBatch.
 func (h *Hub) Submit(user string, a *alert.Alert) error {
-	if !h.accepting.Load() {
-		return ErrNotAccepting
-	}
-	if err := a.Validate(); err != nil {
-		h.counters.Add1("rejected-invalid")
-		return err
-	}
-	b, ok := h.buddy(user)
-	if !ok {
-		h.counters.Add1("rejected-unknown-user")
-		return fmt.Errorf("hub: submit for %q: %w", user, ErrUnknownUser)
-	}
-	key := user + keySep + a.DedupKey()
-	if h.wal.Has(key) {
-		// Duplicate delivery of an already-acknowledged alert (e.g. an
-		// ack lost in flight). Re-ack idempotently, but only once the
-		// original is durable.
-		if err := h.wal.LogReceived(key, nil, h.cfg.Clock.Now()); err != nil {
-			return err
-		}
-		h.counters.Add1("duplicates")
-		return nil
-	}
-	sh := h.shardOf(user)
-	// Admission control BEFORE the pessimistic log: a rejected alert
-	// was never acked, so the sender retries — nothing can be lost.
-	if !sh.reserve() {
-		h.counters.Add1("rejects-overload")
-		return &OverloadError{
-			User:       user,
-			Shard:      sh.id,
-			Depth:      h.cfg.QueueDepth,
-			RetryAfter: sh.retryHint(h.cfg.CommitWindow),
-		}
-	}
-	payload, err := a.MarshalText()
-	if err != nil {
-		sh.release()
-		h.counters.Add1("rejected-invalid")
-		return err
-	}
-	// Pessimistic group-commit logging: this blocks until the batch
-	// holding the RECV record is fsynced. Only then do we acknowledge.
-	if err := h.wal.LogReceived(key, payload, h.cfg.Clock.Now()); err != nil {
-		sh.release()
-		return err
-	}
-	h.counters.Add1("received")
-	sh.enqueue(envelope{buddy: b, alert: a.Clone(), key: key, at: h.cfg.Clock.Now()})
-	return nil
+	return h.SubmitBatch([]Submission{{User: user, Alert: a}})[0]
 }
 
-// run is one shard's event loop: route, then mark processed.
+// submitPending is one burst entry that passed validation and awaits
+// admission + the batch fsync.
+type submitPending struct {
+	idx   int
+	buddy *Buddy
+	sh    *shard
+	a     *alert.Alert
+	key   string
+	dup   bool // already durable (or duplicated within the burst): re-ack only
+}
+
+// SubmitBatch offers a burst of alerts, amortizing the ingest path's
+// fixed costs: one validation/dedup pass, bulk admission reservation
+// per shard, one marshal pass, and a single group-commit WAL join for
+// every RECV record in the burst (plog.GroupLog.LogReceivedBatch — one
+// lock round-trip and one fsync wait instead of per-alert ones).
+//
+// The result is parallel to subs: errs[i] == nil is the hub's
+// acknowledgement for subs[i], with exactly Submit's semantics — the
+// alert is durably logged before the ack, OverloadError means the
+// target shard rejected it before logging (retry after the hint), and
+// other errors mean rejection. Entries for a full shard fail
+// individually; the rest of the burst proceeds. Duplicate submissions
+// (against the WAL or within the burst) are re-acked idempotently once
+// the original is durable.
+func (h *Hub) SubmitBatch(subs []Submission) []error {
+	errs := make([]error, len(subs))
+	if len(subs) == 0 {
+		return errs
+	}
+	if !h.accepting.Load() {
+		for i := range errs {
+			errs[i] = ErrNotAccepting
+		}
+		return errs
+	}
+	now := h.cfg.Clock.Now()
+
+	// Pass 1: validate, resolve tenants, and split duplicates from
+	// fresh admissions. Burst-internal duplicates count as duplicates
+	// too — exactly what sequential Submits of the same key would see.
+	pending := make([]submitPending, 0, len(subs))
+	var seen map[string]struct{} // lazily built; bursts of 1 never need it
+	counts := make([]int64, len(h.shards))
+	for i := range subs {
+		s := &subs[i]
+		if err := s.Alert.Validate(); err != nil {
+			h.ctr.rejectedInvalid.Add1()
+			errs[i] = err
+			continue
+		}
+		b, ok := h.buddy(s.User)
+		if !ok {
+			h.ctr.rejectedUnknownUser.Add1()
+			errs[i] = fmt.Errorf("hub: submit for %q: %w", s.User, ErrUnknownUser)
+			continue
+		}
+		key := s.User + keySep + s.Alert.DedupKey()
+		inBurst := false
+		if seen != nil {
+			_, inBurst = seen[key]
+		}
+		if inBurst || h.wal.Has(key) {
+			pending = append(pending, submitPending{idx: i, key: key, dup: true})
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]struct{}, len(subs))
+		}
+		seen[key] = struct{}{}
+		sh := h.shardOf(s.User)
+		counts[sh.id]++
+		pending = append(pending, submitPending{idx: i, buddy: b, sh: sh, a: s.Alert, key: key})
+	}
+	if len(pending) == 0 {
+		return errs
+	}
+
+	// Pass 2: bulk admission BEFORE the pessimistic log — one CAS per
+	// shard claims as many slots as the shard can grant; ungranted
+	// entries fail with OverloadError exactly as a lone Submit would,
+	// in burst order. A rejected alert was never logged or acked, so
+	// the sender retries and nothing can be lost.
+	granted := counts // reuse: granted[i] = slots shard i granted us
+	for id := range counts {
+		if counts[id] > 0 {
+			granted[id] = h.shards[id].reserveN(counts[id])
+		}
+	}
+	// Pass 3: marshal the admitted entries and stage the burst's RECV
+	// records (duplicates ride along as idempotent no-ops so their
+	// re-ack waits for the original's durability).
+	entries := make([]plog.BatchEntry, 0, len(pending))
+	admitted := pending[:0] // in-place filter: pending entries that joined the batch
+	for _, p := range pending {
+		if p.dup {
+			entries = append(entries, plog.BatchEntry{Key: p.key, At: now})
+			admitted = append(admitted, p)
+			continue
+		}
+		if granted[p.sh.id] <= 0 {
+			h.ctr.rejectsOverload.Add1()
+			errs[p.idx] = &OverloadError{
+				User:       subs[p.idx].User,
+				Shard:      p.sh.id,
+				Depth:      h.cfg.QueueDepth,
+				RetryAfter: p.sh.retryHint(h.cfg.CommitWindow),
+			}
+			continue
+		}
+		granted[p.sh.id]--
+		payload, err := p.a.MarshalText()
+		if err != nil {
+			p.sh.release()
+			h.ctr.rejectedInvalid.Add1()
+			errs[p.idx] = err
+			continue
+		}
+		entries = append(entries, plog.BatchEntry{Key: p.key, Payload: payload, At: now})
+		admitted = append(admitted, p)
+	}
+	if len(admitted) == 0 {
+		return errs
+	}
+
+	// Pessimistic group-commit logging: one durability wait for the
+	// whole burst. Only after the batch is fsynced do we acknowledge.
+	if err := h.wal.LogReceivedBatch(entries); err != nil {
+		for i := range admitted {
+			if !admitted[i].dup {
+				admitted[i].sh.release()
+			}
+			errs[admitted[i].idx] = err
+		}
+		return errs
+	}
+
+	// Fault injection: the batch is durable (callers are acked below)
+	// but nothing is enqueued — the next incarnation must replay it.
+	if f := h.cfg.CrashAfterBatchFsync; f != nil && f.Active() {
+		h.crashOnce.Do(func() {
+			h.journal(faults.KindFaultInjected,
+				"hub killed between batch fsync and enqueue (%d staged alerts)", len(admitted))
+			h.Kill()
+		})
+		return errs
+	}
+
+	acked := h.cfg.Clock.Now() // post-fsync: latency measures ack → processed
+	for i := range admitted {
+		p := &admitted[i]
+		if p.dup {
+			h.ctr.duplicates.Add1()
+			continue
+		}
+		h.ctr.received.Add1()
+		p.sh.enqueue(envelope{buddy: p.buddy, alert: p.a.Clone(), key: p.key, at: acked})
+	}
+	return errs
+}
+
+// run is one shard's event loop: drain up to Config.RouteBatch queued
+// envelopes per wakeup and route them as a batch, so WAL DONE staging
+// and delivery handoff amortize their lock round-trips across the
+// drained burst.
 func (h *Hub) run(sh *shard) {
 	defer h.loops.Done()
+	var (
+		batch   = make([]envelope, 0, h.cfg.RouteBatch)
+		scratch routeScratch
+	)
 	for {
 		select {
 		case <-h.killed:
@@ -642,51 +836,94 @@ func (h *Hub) run(sh *shard) {
 				return
 			default:
 			}
-			h.process(sh, env)
+			batch = append(batch[:0], env)
+			drained := true
+			for drained && len(batch) < h.cfg.RouteBatch {
+				select {
+				case env, ok := <-sh.q:
+					if !ok {
+						drained = false // queue closed: route what we have, then exit
+						break
+					}
+					batch = append(batch, env)
+				default:
+					drained = false
+				}
+			}
+			h.processBatch(sh, batch, &scratch)
 		}
 	}
 }
 
-// process is the routing stage: evaluate the tenant's pipeline on the
-// shard loop, then either finish the alert in place (reject/filter
-// verdicts never touch the sink) or hand it to the shard's asynchronous
-// delivery stage. The shard loop never calls Sink.Deliver, so a slow
-// delivery stalls only its own user's chain — not every tenant hashed
-// to the shard.
-func (h *Hub) process(sh *shard, env envelope) {
-	dequeued := h.cfg.Clock.Now()
-	h.queueWait.Observe(dequeued.Sub(env.at))
-	b := env.buddy
-	category, verdict := b.pipe.Evaluate(env.alert, dequeued)
-	h.routeLat.Observe(h.cfg.Clock.Since(dequeued))
-	switch verdict {
-	case mab.VerdictReject:
-		b.rejected.Add(1)
-		h.counters.Add1("rejected")
-		h.finish(sh, env)
-	case mab.VerdictFilter:
-		b.filtered.Add(1)
-		h.counters.Add1("filtered")
-		h.finish(sh, env)
-	default:
-		routed := env.alert.Clone()
-		routed.Keywords = []string{category}
-		b.routed.Add(1)
-		h.counters.Add1("routed")
-		sh.delivery.submit(deliveryJob{env: env, routed: routed, category: category, handed: h.cfg.Clock.Now()})
+// routeScratch is a shard loop's reusable batch-routing buffers.
+type routeScratch struct {
+	finished []envelope    // reject/filter verdicts awaiting a batched DONE
+	keys     []string      // finished WAL keys, parallel to finished
+	jobs     []deliveryJob // routed alerts awaiting delivery handoff
+}
+
+// processBatch is the routing stage: evaluate each envelope's tenant
+// pipeline on the shard loop, then complete the batch's bookkeeping in
+// bulk — reject/filter verdicts stage their WAL DONE records as one
+// batch (one group-lock round-trip) and routed alerts are handed to
+// the delivery stage under a single submit lock acquisition. The shard
+// loop never calls into delivery substrates, so a slow delivery stalls
+// only its own user's chain — not every tenant hashed to the shard.
+func (h *Hub) processBatch(sh *shard, envs []envelope, scr *routeScratch) {
+	scr.finished = scr.finished[:0]
+	scr.keys = scr.keys[:0]
+	scr.jobs = scr.jobs[:0]
+	for _, env := range envs {
+		dequeued := h.cfg.Clock.Now()
+		h.queueWait.Observe(dequeued.Sub(env.at))
+		b := env.buddy
+		category, verdict := b.pipe.Evaluate(env.alert, dequeued)
+		h.routeLat.Observe(h.cfg.Clock.Since(dequeued))
+		switch verdict {
+		case mab.VerdictReject:
+			b.rejected.Add(1)
+			h.ctr.rejected.Add1()
+			scr.finished = append(scr.finished, env)
+			scr.keys = append(scr.keys, env.key)
+		case mab.VerdictFilter:
+			b.filtered.Add(1)
+			h.ctr.filtered.Add1()
+			scr.finished = append(scr.finished, env)
+			scr.keys = append(scr.keys, env.key)
+		default:
+			// Reuse the submit-time copy instead of a second Clone: the
+			// envelope's alert is private to the hub, and the routing
+			// category annotation is exactly what the clone carried.
+			routed := env.alert
+			routed.Keywords = []string{category}
+			b.routed.Add(1)
+			h.ctr.routed.Add1()
+			scr.jobs = append(scr.jobs, deliveryJob{env: env, routed: routed, category: category, handed: h.cfg.Clock.Now()})
+		}
+	}
+	if len(scr.finished) > 0 {
+		h.finishBatch(sh, scr.finished, scr.keys)
+	}
+	if len(scr.jobs) > 0 {
+		sh.delivery.submitBatch(scr.jobs)
 	}
 }
 
-// finish durably completes an alert that needs no delivery: stage the
-// WAL DONE record into the next group commit and release the admission
-// slot. Losing an unflushed DONE only causes a replay, which the dedup
-// contract covers; Drain/Close still flush every staged record.
-func (h *Hub) finish(sh *shard, env envelope) {
-	defer sh.release()
-	if err := h.wal.MarkProcessedAsync(env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
-		h.counters.Add1("mark-failed")
+// finishBatch durably completes alerts that need no delivery: stage
+// every WAL DONE record into the next group commit as one batch and
+// release the admission slots. Losing an unflushed DONE only causes a
+// replay, which the dedup contract covers; Drain/Close still flush
+// every staged record.
+func (h *Hub) finishBatch(sh *shard, envs []envelope, keys []string) {
+	markErrs := h.wal.MarkProcessedBatchAsync(keys, h.cfg.Clock.Now())
+	done := h.cfg.Clock.Now()
+	for i, env := range envs {
+		if markErrs != nil && markErrs[i] != nil && !errors.Is(markErrs[i], plog.ErrClosed) {
+			h.ctr.markFailed.Add1()
+		}
+		h.latency.Observe(done.Sub(env.at))
+		sh.release()
 	}
-	h.latency.Observe(h.cfg.Clock.Since(env.at))
 }
 
 // Kill abruptly terminates the hub, simulating a crash: admission stops

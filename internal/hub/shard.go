@@ -62,6 +62,28 @@ func (s *shard) reserve() bool {
 	}
 }
 
+// reserveN bulk-claims up to n queue slots with a single successful
+// CAS, returning how many it got (possibly zero) — the batched-ingest
+// admission primitive. Partial grants let the rest of a burst fail
+// with OverloadError individually instead of rejecting the whole
+// burst.
+func (s *shard) reserveN(n int64) int64 {
+	for {
+		d := s.depth.Load()
+		grant := s.cap - d
+		if grant <= 0 {
+			return 0
+		}
+		if grant > n {
+			grant = n
+		}
+		if s.depth.CompareAndSwap(d, d+grant) {
+			s.notePeak(d + grant)
+			return grant
+		}
+	}
+}
+
 // reserveBlocking claims a slot, waiting for one to free up. Only used
 // during startup replay, while the loops are guaranteed to be draining.
 func (s *shard) reserveBlocking() {

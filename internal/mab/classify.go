@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"simba/internal/alert"
@@ -47,14 +48,42 @@ type SourceRule struct {
 // the user's list of accepted alert sources and how to extract
 // category keywords from each. Unaccepted sources are dropped — that
 // is the spam boundary MyAlertBuddy provides.
+//
+// The rule table is copy-on-write: mutators rebuild the map under a
+// mutex and swap it in atomically, so Classify — the per-alert hot
+// path — never takes a lock.
 type Classifier struct {
-	mu    sync.RWMutex
-	rules map[string]SourceRule
+	mu    sync.Mutex // serializes mutators
+	rules atomic.Pointer[map[string]SourceRule]
 }
 
 // NewClassifier returns an empty classifier (which accepts nothing).
 func NewClassifier() *Classifier {
-	return &Classifier{rules: make(map[string]SourceRule)}
+	c := new(Classifier)
+	empty := make(map[string]SourceRule)
+	c.rules.Store(&empty)
+	return c
+}
+
+// snapshot returns the current rule table (possibly nil for a zero
+// Classifier). Callers must treat it as read-only.
+func (c *Classifier) snapshot() map[string]SourceRule {
+	if m := c.rules.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// rebuild swaps in a copy of the rule table with mutate applied.
+// Callers must hold c.mu.
+func (c *Classifier) rebuild(mutate func(map[string]SourceRule)) {
+	cur := c.snapshot()
+	next := make(map[string]SourceRule, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	mutate(next)
+	c.rules.Store(&next)
 }
 
 // Accept registers (or updates) a source rule.
@@ -63,7 +92,7 @@ func (c *Classifier) Accept(rule SourceRule) {
 		rule.Extract = ExtractNative
 	}
 	c.mu.Lock()
-	c.rules[rule.Source] = rule
+	c.rebuild(func(m map[string]SourceRule) { m[rule.Source] = rule })
 	c.mu.Unlock()
 }
 
@@ -71,16 +100,15 @@ func (c *Classifier) Accept(rule SourceRule) {
 // mentions).
 func (c *Classifier) Remove(source string) {
 	c.mu.Lock()
-	delete(c.rules, source)
+	c.rebuild(func(m map[string]SourceRule) { delete(m, source) })
 	c.mu.Unlock()
 }
 
 // Sources returns the accepted source names.
 func (c *Classifier) Sources() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.rules))
-	for s := range c.rules {
+	rules := c.snapshot()
+	out := make([]string, 0, len(rules))
+	for s := range rules {
 		out = append(out, s)
 	}
 	return out
@@ -90,10 +118,9 @@ func (c *Classifier) Sources() []string {
 // name — the user's one-stop inventory of everything they are
 // subscribed to and how to leave it.
 func (c *Classifier) Rules() []SourceRule {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]SourceRule, 0, len(c.rules))
-	for _, r := range c.rules {
+	rules := c.snapshot()
+	out := make([]SourceRule, 0, len(rules))
+	for _, r := range rules {
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
@@ -103,10 +130,12 @@ func (c *Classifier) Rules() []SourceRule {
 // Classify extracts category keywords from the alert. emailFrom is the
 // sender address when the alert arrived by email (empty otherwise).
 // accepted reports whether the alert's source is on the accepted list.
+//
+// For ExtractNative sources the returned slice aliases a.Keywords
+// rather than copying it; callers must treat the result as read-only
+// (routing clones the alert before rewriting its keywords).
 func (c *Classifier) Classify(a *alert.Alert, emailFrom string) (keywords []string, accepted bool) {
-	c.mu.RLock()
-	rule, ok := c.rules[a.Source]
-	c.mu.RUnlock()
+	rule, ok := c.snapshot()[a.Source]
 	if !ok {
 		return nil, false
 	}
@@ -116,7 +145,7 @@ func (c *Classifier) Classify(a *alert.Alert, emailFrom string) (keywords []stri
 	case ExtractSubject:
 		return subjectKeywords(a.Subject), true
 	default:
-		return append([]string(nil), a.Keywords...), true
+		return a.Keywords, true
 	}
 }
 
@@ -176,22 +205,51 @@ const DefaultCategory = "Uncategorized"
 
 // Aggregator implements alert aggregation: the user's mapping from
 // native keywords to personal alert categories ("Stocks", "Financial
-// news" and "Earnings reports" → "Investment").
+// news" and "Earnings reports" → "Investment"). Like Classifier, the
+// state is copy-on-write: Aggregate reads an immutable snapshot and
+// never takes a lock.
 type Aggregator struct {
-	mu       sync.RWMutex
+	mu    sync.Mutex // serializes mutators
+	state atomic.Pointer[aggState]
+}
+
+type aggState struct {
 	mapping  map[string]string // lowercased keyword → category
 	fallback string
 }
 
 // NewAggregator returns an aggregator with DefaultCategory fallback.
 func NewAggregator() *Aggregator {
-	return &Aggregator{mapping: make(map[string]string), fallback: DefaultCategory}
+	g := new(Aggregator)
+	g.state.Store(&aggState{mapping: make(map[string]string), fallback: DefaultCategory})
+	return g
+}
+
+// snapshot returns the current state; never nil (a zero Aggregator
+// reads as empty with DefaultCategory fallback).
+func (g *Aggregator) snapshot() *aggState {
+	if s := g.state.Load(); s != nil {
+		return s
+	}
+	return &aggState{fallback: DefaultCategory}
+}
+
+// rebuild swaps in a copy of the state with mutate applied. Callers
+// must hold g.mu.
+func (g *Aggregator) rebuild(mutate func(*aggState)) {
+	cur := g.snapshot()
+	next := &aggState{mapping: make(map[string]string, len(cur.mapping)+1), fallback: cur.fallback}
+	for k, v := range cur.mapping {
+		next.mapping[k] = v
+	}
+	mutate(next)
+	g.state.Store(next)
 }
 
 // SetFallback overrides the category for unmapped keywords.
 func (g *Aggregator) SetFallback(category string) {
 	g.mu.Lock()
-	g.fallback = category
+	g.rebuild(func(s *aggState) { s.fallback = category })
 	g.mu.Unlock()
 }
 
@@ -199,7 +257,7 @@ func (g *Aggregator) SetFallback(category string) {
 // category.
 func (g *Aggregator) Map(keyword, category string) {
 	g.mu.Lock()
-	g.mapping[strings.ToLower(keyword)] = category
+	g.rebuild(func(s *aggState) { s.mapping[strings.ToLower(keyword)] = category })
 	g.mu.Unlock()
 }
 
@@ -210,14 +268,13 @@ func (g *Aggregator) Map(keyword, category string) {
 // the map directly, and mixed-case ASCII keywords are folded into a
 // stack buffer whose map lookup the compiler keeps allocation-free.
 func (g *Aggregator) Aggregate(keywords []string) string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if len(g.mapping) == 0 {
-		return g.fallback
+	s := g.snapshot()
+	if len(s.mapping) == 0 {
+		return s.fallback
 	}
 	var buf [64]byte
 	for _, k := range keywords {
-		if cat, ok := g.mapping[k]; ok {
+		if cat, ok := s.mapping[k]; ok {
 			return cat // already-lowercase fast path
 		}
 		folded, kind := foldASCII(buf[:0], k)
@@ -225,16 +282,16 @@ func (g *Aggregator) Aggregate(keywords []string) string {
 		case foldIdentical:
 			// Lowercase ASCII already missed above; next keyword.
 		case foldChanged:
-			if cat, ok := g.mapping[string(folded)]; ok {
+			if cat, ok := s.mapping[string(folded)]; ok {
 				return cat
 			}
 		default: // non-ASCII or oversized: rare full-Unicode path
-			if cat, ok := g.mapping[strings.ToLower(k)]; ok {
+			if cat, ok := s.mapping[strings.ToLower(k)]; ok {
 				return cat
 			}
 		}
 	}
-	return g.fallback
+	return s.fallback
 }
 
 // foldASCII outcomes.
@@ -269,9 +326,14 @@ func foldASCII(buf []byte, s string) ([]byte, int) {
 
 // Filter implements alert filtering: per-category enable/disable and
 // delivery time constraints ("disable these alerts during certain
-// hours to avoid distractions").
+// hours to avoid distractions"). State is copy-on-write like the
+// other pipeline stages: Allow reads an immutable snapshot lock-free.
 type Filter struct {
-	mu       sync.RWMutex
+	mu    sync.Mutex // serializes mutators
+	state atomic.Pointer[filterState]
+}
+
+type filterState struct {
 	disabled map[string]bool
 	quiet    map[string]quietWindow
 }
@@ -282,20 +344,47 @@ type quietWindow struct {
 
 // NewFilter returns a filter that allows everything.
 func NewFilter() *Filter {
-	return &Filter{
+	f := new(Filter)
+	f.state.Store(&filterState{
 		disabled: make(map[string]bool),
 		quiet:    make(map[string]quietWindow),
+	})
+	return f
+}
+
+// snapshot returns the current state (possibly nil for a zero Filter,
+// which allows everything).
+func (f *Filter) snapshot() *filterState {
+	return f.state.Load()
+}
+
+// rebuild swaps in a copy of the state with mutate applied. Callers
+// must hold f.mu.
+func (f *Filter) rebuild(mutate func(*filterState)) {
+	cur := f.snapshot()
+	next := &filterState{disabled: make(map[string]bool), quiet: make(map[string]quietWindow)}
+	if cur != nil {
+		for k, v := range cur.disabled {
+			next.disabled[k] = v
+		}
+		for k, v := range cur.quiet {
+			next.quiet[k] = v
+		}
 	}
+	mutate(next)
+	f.state.Store(next)
 }
 
 // SetEnabled enables or disables a category.
 func (f *Filter) SetEnabled(category string, enabled bool) {
 	f.mu.Lock()
-	if enabled {
-		delete(f.disabled, category)
-	} else {
-		f.disabled[category] = true
-	}
+	f.rebuild(func(s *filterState) {
+		if enabled {
+			delete(s.disabled, category)
+		} else {
+			s.disabled[category] = true
+		}
+	})
 	f.mu.Unlock()
 }
 
@@ -304,31 +393,48 @@ func (f *Filter) SetEnabled(category string, enabled bool) {
 // midnight (start > end) is supported. Equal offsets clear the window.
 func (f *Filter) SetQuietHours(category string, start, end time.Duration) {
 	f.mu.Lock()
-	if start == end {
-		delete(f.quiet, category)
-	} else {
-		f.quiet[category] = quietWindow{start: start, end: end}
-	}
+	f.rebuild(func(s *filterState) {
+		if start == end {
+			delete(s.quiet, category)
+		} else {
+			s.quiet[category] = quietWindow{start: start, end: end}
+		}
+	})
 	f.mu.Unlock()
 }
 
 // Allow reports whether an alert of the category should be routed at
 // the given time.
 func (f *Filter) Allow(category string, now time.Time) bool {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	if f.disabled[category] {
+	s := f.snapshot()
+	if s == nil {
+		return true
+	}
+	if s.disabled[category] {
 		return false
 	}
-	w, ok := f.quiet[category]
+	w, ok := s.quiet[category]
 	if !ok {
 		return true
 	}
-	midnight := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, now.Location())
-	offset := now.Sub(midnight)
+	offset := sinceMidnight(now)
 	if w.start < w.end {
 		return offset < w.start || offset >= w.end
 	}
 	// Wraps midnight: quiet when offset >= start OR offset < end.
 	return offset < w.start && offset >= w.end
+}
+
+// sinceMidnight returns now's wall-clock offset from midnight, computed
+// arithmetically from the clock reading instead of rebuilding midnight
+// with time.Date on every alert. Quiet windows therefore track the
+// local clock face across DST transitions: a 01:00–04:00 window on a
+// spring-forward day ends when the wall clock reads 04:00, not after
+// four elapsed hours (which time.Date-based subtraction would give).
+func sinceMidnight(now time.Time) time.Duration {
+	hour, min, sec := now.Clock()
+	return time.Duration(hour)*time.Hour +
+		time.Duration(min)*time.Minute +
+		time.Duration(sec)*time.Second +
+		time.Duration(now.Nanosecond())
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -307,40 +308,113 @@ func (s HistogramSnapshot) String() string {
 	return b.String()
 }
 
+// counterStripes is the number of independent cells per Counter. Must
+// be a power of two. Eight cells keep a heavily shared counter (every
+// hub submitter bumps "received") off a single contended cache line
+// while costing only 512 B per registered name.
+const counterStripes = 8
+
+// counterCell pads each stripe out to a cache line so concurrent Adds
+// on different stripes never false-share.
+type counterCell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is one named counter resolved from a CounterSet. Hot paths
+// resolve the handle once at registration and then increment with a
+// single atomic add — no map hash, no mutex. The add lands on a
+// randomly chosen stripe (math/rand/v2's per-thread generator, no
+// lock), so writers under contention spread across cache lines.
+type Counter struct {
+	cells [counterStripes]counterCell
+}
+
+// Add adds delta (which may be negative in tests but typically 1).
+func (c *Counter) Add(delta int64) {
+	c.cells[randv2.Uint64()&(counterStripes-1)].n.Add(delta)
+}
+
+// Add1 increments the counter by one.
+func (c *Counter) Add1() { c.Add(1) }
+
+// Value sums the stripes. Concurrent Adds may or may not be included;
+// the result is exact once writers quiesce.
+func (c *Counter) Value() int64 {
+	var v int64
+	for i := range c.cells {
+		v += c.cells[i].n.Load()
+	}
+	return v
+}
+
 // CounterSet is a set of named monotonically increasing counters. The
-// zero value is ready to use.
+// zero value is ready to use. The name→counter map is copy-on-write:
+// registration (the first use of a name) takes a mutex and swaps in a
+// rebuilt map, while lookups and increments are lock-free.
 type CounterSet struct {
-	mu     sync.Mutex
-	counts map[string]int64
+	mu sync.Mutex // serializes registration only
+	m  atomic.Pointer[map[string]*Counter]
+}
+
+// Counter returns the named counter's handle, registering it on first
+// use. Resolve handles once outside hot loops: Add on the handle is a
+// single atomic add, whereas Inc/Add1 by name repeat the map lookup.
+func (c *CounterSet) Counter(name string) *Counter {
+	if m := c.m.Load(); m != nil {
+		if ctr, ok := (*m)[name]; ok {
+			return ctr
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.m.Load()
+	if cur != nil {
+		if ctr, ok := (*cur)[name]; ok {
+			return ctr
+		}
+	}
+	next := make(map[string]*Counter, 8)
+	if cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	ctr := new(Counter)
+	next[name] = ctr
+	c.m.Store(&next)
+	return ctr
 }
 
 // Inc adds delta (which may be negative in tests but typically 1).
-func (c *CounterSet) Inc(name string, delta int64) {
-	c.mu.Lock()
-	if c.counts == nil {
-		c.counts = make(map[string]int64)
-	}
-	c.counts[name] += delta
-	c.mu.Unlock()
-}
+func (c *CounterSet) Inc(name string, delta int64) { c.Counter(name).Add(delta) }
 
 // Add1 increments name by one.
-func (c *CounterSet) Add1(name string) { c.Inc(name, 1) }
+func (c *CounterSet) Add1(name string) { c.Counter(name).Add(1) }
 
 // Get returns the current value of name (zero if never incremented).
 func (c *CounterSet) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counts[name]
+	if m := c.m.Load(); m != nil {
+		if ctr, ok := (*m)[name]; ok {
+			return ctr.Value()
+		}
+	}
+	return 0
 }
 
-// Snapshot returns a copy of all counters.
+// Snapshot returns a copy of all counters. Names whose value is zero
+// (registered but never incremented) are omitted, matching the
+// pre-registration behavior where only incremented names existed.
 func (c *CounterSet) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.counts))
-	for k, v := range c.counts {
-		out[k] = v
+	m := c.m.Load()
+	if m == nil {
+		return map[string]int64{}
+	}
+	out := make(map[string]int64, len(*m))
+	for k, ctr := range *m {
+		if v := ctr.Value(); v != 0 {
+			out[k] = v
+		}
 	}
 	return out
 }

@@ -34,7 +34,8 @@ type GroupLog struct {
 
 	appended atomic.Int64
 
-	batchSizes *metrics.Histogram // journal lines per commit
+	batchSizes  *metrics.Histogram // journal lines per commit
+	stagedSizes *metrics.Histogram // fresh records per LogReceivedBatch call
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -72,7 +73,13 @@ func OpenGroup(path string, opts GroupOptions) (*GroupLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &GroupLog{log: l, opts: opts, done: make(chan struct{}), batchSizes: &metrics.Histogram{}}
+	g := &GroupLog{
+		log:         l,
+		opts:        opts,
+		done:        make(chan struct{}),
+		batchSizes:  &metrics.Histogram{},
+		stagedSizes: &metrics.Histogram{},
+	}
 	g.cond = sync.NewCond(&g.mu)
 	go g.committer()
 	return g, nil
@@ -104,6 +111,106 @@ func (g *GroupLog) MarkProcessed(key string, at time.Time) error {
 	return g.commit(func(dst []byte) ([]byte, bool, error) {
 		return g.log.stageProcessed(dst, key, at)
 	})
+}
+
+// LogReceivedBatch durably records a burst of incoming alerts in one
+// shot: one group-lock acquisition, one encode pass through the shared
+// staging buffer (a single underlying index-lock round-trip), one
+// group-commit join, and one durability wait for the whole burst —
+// the per-call fixed costs of LogReceived amortized across the batch.
+// Entries land in the journal in slice order. Duplicate keys are
+// idempotent no-ops; if every entry is a duplicate the call still
+// waits for any in-flight batch, so acking the burst cannot outrun the
+// originals' durability. The pessimistic contract is unchanged: when
+// LogReceivedBatch returns nil, every entry is on disk.
+//
+// A burst joins the open batch as a unit, even when that overshoots
+// GroupOptions.MaxBatch (the cap then closes the batch to later
+// appends); a batch still never spans a segment rotation.
+func (g *GroupLog) LogReceivedBatch(entries []BatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	for i := range entries {
+		if entries[i].Key == "" {
+			return errors.New("plog: empty key")
+		}
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	if g.failed != nil {
+		err := g.failed
+		g.mu.Unlock()
+		return err
+	}
+	buf, staged, err := g.log.stageReceivedBatch(g.scratch[:0], entries)
+	g.scratch = buf[:0]
+	if err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	var b *groupBatch
+	if staged > 0 {
+		g.stagedSizes.Observe(staged)
+		b = g.openBatchLocked()
+		b.buf = append(b.buf, buf...)
+		b.lines += staged
+		g.appended.Add(staged)
+		g.cond.Signal()
+	} else {
+		// Every entry was a duplicate: wait for the youngest pending
+		// work, if any (mirrors the no-op path in commit).
+		switch {
+		case len(g.queue) > 0:
+			b = g.queue[len(g.queue)-1]
+		case g.flushing != nil:
+			b = g.flushing
+		default:
+			g.mu.Unlock()
+			return nil
+		}
+	}
+	g.mu.Unlock()
+	<-b.done
+	return b.err
+}
+
+// MarkProcessedBatchAsync stages DONE records for a burst of keys into
+// the next group commit without waiting for the fsync — the batched
+// counterpart of MarkProcessedAsync, costing one group-lock and one
+// index-lock round-trip for the whole burst. Per-key staging failures
+// (ErrUnknownKey) are reported in the returned slice, which is nil
+// when every key staged cleanly and otherwise parallel to keys.
+func (g *GroupLog) MarkProcessedBatchAsync(keys []string, at time.Time) []error {
+	if len(keys) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sticky := g.failed
+	if g.closed {
+		sticky = ErrClosed
+	}
+	if sticky != nil {
+		errs := make([]error, len(keys))
+		for i := range errs {
+			errs[i] = sticky
+		}
+		return errs
+	}
+	buf, staged, errs := g.log.stageProcessedBatch(g.scratch[:0], keys, at)
+	g.scratch = buf[:0]
+	if staged > 0 {
+		b := g.openBatchLocked()
+		b.buf = append(b.buf, buf...)
+		b.lines += staged
+		g.appended.Add(staged)
+		g.cond.Signal()
+	}
+	return errs
 }
 
 // MarkProcessedAsync stages the DONE record into the next group commit
@@ -261,8 +368,15 @@ func (g *GroupLog) Syncs() int64 { return g.log.Syncs() }
 // group-commit path; Appended()/Syncs() is the mean commit batch size.
 func (g *GroupLog) Appended() int64 { return g.appended.Load() }
 
-// Stats snapshots the underlying log's segmentation/compaction state.
-func (g *GroupLog) Stats() Stats { return g.log.Stats() }
+// Stats snapshots the underlying log's segmentation/compaction state
+// plus the group-commit batch histograms (lines per fsync, and staged
+// ingest-burst sizes from LogReceivedBatch).
+func (g *GroupLog) Stats() Stats {
+	s := g.log.Stats()
+	s.CommitBatches = g.batchSizes.Snapshot()
+	s.StagedBatches = g.stagedSizes.Snapshot()
+	return s
+}
 
 // Checkpoint forces a checkpoint + compaction of the underlying log.
 func (g *GroupLog) Checkpoint() error { return g.log.Checkpoint() }
@@ -273,6 +387,10 @@ func (g *GroupLog) FsyncLatency() metrics.HistogramSnapshot { return g.log.Fsync
 // BatchSizes returns the group-commit batch-size histogram (journal
 // lines per fsync).
 func (g *GroupLog) BatchSizes() metrics.HistogramSnapshot { return g.batchSizes.Snapshot() }
+
+// StagedBatchSizes returns the ingest staged-batch histogram (fresh
+// records per LogReceivedBatch call).
+func (g *GroupLog) StagedBatchSizes() metrics.HistogramSnapshot { return g.stagedSizes.Snapshot() }
 
 // Close flushes every pending batch, waits for the committer to exit,
 // and closes the underlying journal. Further appends fail with

@@ -139,6 +139,11 @@ type Stats struct {
 	// DiskBytes is the current on-disk footprint (segments plus the
 	// newest checkpoint).
 	DiskBytes int64
+	// CommitBatches and StagedBatches summarize the group-commit layer
+	// (populated by GroupLog.Stats, zero for a bare Log): journal lines
+	// per fsync, and fresh records per LogReceivedBatch ingest burst.
+	CommitBatches metrics.HistogramSnapshot
+	StagedBatches metrics.HistogramSnapshot
 }
 
 // Log is a pessimistic, segmented write-ahead log. It is safe for
@@ -397,6 +402,74 @@ func (l *Log) stageProcessed(dst []byte, key string, at time.Time) (out []byte, 
 	l.markProcessedLocked(i)
 	l.maybeSweepLocked()
 	return dst, true, nil
+}
+
+// BatchEntry is one incoming record in a batched ingest call
+// (GroupLog.LogReceivedBatch).
+type BatchEntry struct {
+	Key     string
+	Payload []byte
+	At      time.Time
+}
+
+// stageReceivedBatch is stageReceived vectorized: it stages every fresh
+// entry under a single index-lock acquisition, appending all encoded
+// journal lines to dst in entry order. staged counts the fresh entries;
+// duplicates are skipped (first RECV wins, as in LogReceived).
+func (l *Log) stageReceivedBatch(dst []byte, entries []BatchEntry) (out []byte, staged int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return dst, 0, ErrClosed
+	}
+	for i := range entries {
+		e := &entries[i]
+		if _, ok := l.index[e.Key]; ok {
+			continue
+		}
+		dst = appendRecv(dst, e.At.UnixNano(), e.Key, e.Payload)
+		l.addReceivedLocked(e.Key, append([]byte(nil), e.Payload...), e.At)
+		staged++
+	}
+	return dst, staged, nil
+}
+
+// stageProcessedBatch is stageProcessed vectorized: DONE records for
+// every key staged under one index-lock acquisition, with one sweep
+// check at the end. Per-key failures (ErrUnknownKey) land in errs,
+// which is nil when every key staged cleanly and otherwise parallel to
+// keys; already-processed keys are no-ops.
+func (l *Log) stageProcessedBatch(dst []byte, keys []string, at time.Time) (out []byte, staged int64, errs []error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		errs = make([]error, len(keys))
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return dst, 0, errs
+	}
+	nanos := at.UnixNano()
+	for i, key := range keys {
+		j, ok := l.index[key]
+		if !ok {
+			if errs == nil {
+				errs = make([]error, len(keys))
+			}
+			errs[i] = fmt.Errorf("plog: mark processed %q: %w", key, ErrUnknownKey)
+			continue
+		}
+		if l.order[j].Processed {
+			continue
+		}
+		dst = appendDone(dst, nanos, key)
+		l.markProcessedLocked(j)
+		staged++
+	}
+	if staged > 0 {
+		l.maybeSweepLocked()
+	}
+	return dst, staged, errs
 }
 
 // Syncs returns the number of fsyncs issued since Open — the figure of
