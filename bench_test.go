@@ -480,6 +480,117 @@ func BenchmarkHubBatchIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkHubGuaranteedOverhead — the QoS-tier experiment: the
+// batched portal workload of BenchmarkHubBatchIngest against a flaky
+// substrate (10% simulated drop, attempt budget 2), with 0% vs 50% of
+// tenants on the guaranteed tier. The 0% variant prices the tier
+// plumbing alone (plan tier resolution + per-tier counters) and must
+// stay within noise of BenchmarkHubBatchIngest; the 50% variant adds
+// the real cost — WAL-backed outbox handoffs for every
+// attempt-exhausted guaranteed alert — which stays off the ingest hot
+// path entirely. See BENCH_hub.json for recorded runs.
+func BenchmarkHubGuaranteedOverhead(b *testing.B) {
+	const users, alerts, submitters, burstSize = 1000, 20000, 128, 64
+	for _, frac := range []struct {
+		name string
+		frac float64
+	}{{"guaranteed-0pct", 0}, {"guaranteed-50pct", 0.5}} {
+		b.Run(frac.name, func(b *testing.B) {
+			clk := clock.NewReal()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rng := dist.NewRNG(int64(i) + 1)
+				sink := hub.NewSimSink(rng.Fork("substrate"), 8, nil, 0.1)
+				h, err := hub.New(hub.Config{
+					Clock: clk, Sink: sink,
+					WALPath: b.TempDir() + "/hub.wal",
+					Shards:  8, QueueDepth: 512,
+					CommitWindow:        2 * time.Millisecond,
+					DeliveryMaxAttempts: 2,
+					OutboxPath:          b.TempDir() + "/hub.outbox",
+					OutboxBackoff:       time.Millisecond,
+					RNG:                 rng,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				guaranteed := int(frac.frac * users)
+				for u := 0; u < users; u++ {
+					bd, err := h.AddUser(fmt.Sprintf("user-%d", u))
+					if err != nil {
+						b.Fatal(err)
+					}
+					bd.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+					bd.Pipeline().Aggregator.Map("stocks", "Investment")
+					if u < guaranteed {
+						if err := bd.SetTier(core.TierGuaranteed); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := h.Start(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				per := alerts / submitters
+				for w := 0; w < submitters; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						burst := make([]hub.Submission, 0, burstSize)
+						lo, hi := w*per, (w+1)*per
+						for j := lo; j < hi; j += burstSize {
+							burst = burst[:0]
+							for k := j; k < j+burstSize && k < hi; k++ {
+								burst = append(burst, hub.Submission{
+									User: fmt.Sprintf("user-%d", k%users),
+									Alert: &alert.Alert{
+										ID: fmt.Sprintf("a-%d-%d", i, k), Source: "portal",
+										Keywords: []string{"stocks"}, Subject: "quote update",
+										Urgency: alert.UrgencyNormal, Created: clk.Now(),
+									},
+								})
+							}
+							for len(burst) > 0 {
+								errs := h.SubmitBatch(burst)
+								retry := burst[:0]
+								var hint time.Duration
+								for idx, err := range errs {
+									var over *hub.OverloadError
+									if errors.As(err, &over) {
+										retry = append(retry, burst[idx])
+										hint = over.RetryAfter
+										continue
+									}
+									if err != nil {
+										b.Error(err)
+										return
+									}
+								}
+								burst = retry
+								if len(burst) > 0 {
+									time.Sleep(hint)
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if err := h.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				elapsed := time.Since(start)
+				st := h.Stats()
+				b.ReportMetric(float64(alerts)/elapsed.Seconds(), "alerts/s")
+				b.ReportMetric(float64(st.OutboxHandoffs), "outbox-handoffs")
+				b.ReportMetric(float64(st.Tiers[core.TierBestEffort].Lost), "best-effort-lost")
+			}
+		})
+	}
+}
+
 // BenchmarkHubSlowSink — the pipelined-delivery experiment: 1,000
 // hosted buddies on 8 shards fed through a sink that really sleeps 1 ms
 // per delivery (an IM manager or email fallback at realistic latency).

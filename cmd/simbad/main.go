@@ -18,6 +18,7 @@
 //	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
 //	       [-wal-segment-bytes B] [-wal-checkpoint-every R]
 //	       [-mode-frac F] [-ack-timeout D] [-im-ack-p P]
+//	       [-guaranteed-frac F] [-outbox-dir DIR] [-outbox-backoff D]
 //	       [-burst B] [-route-batch R] [-pprof ADDR]
 //
 // With -burst > 1 the portal workload is offered through
@@ -33,6 +34,14 @@
 // are acked with probability -im-ack-p, and unacked blocks fall back
 // to email after -ack-timeout. The remaining tenants deliver through
 // the flat simulated substrate.
+//
+// A -guaranteed-frac fraction of tenants subscribes at the guaranteed
+// delivery tier: alerts that exhaust the in-memory attempt budget are
+// persisted to a WAL-backed retry outbox (journal under -outbox-dir)
+// and redelivered with escalating backoff starting at -outbox-backoff,
+// surviving restarts. Everyone else is best-effort — exhausted alerts
+// are dropped but counted. The run report ends with a per-tier
+// delivered/duplicated/lost/escalated table and the outbox summary.
 package main
 
 import (
@@ -78,6 +87,9 @@ func main() {
 	imAckP := flag.Float64("im-ack-p", 0.7, "hub: probability a hosted IM delivery is acknowledged")
 	burst := flag.Int("burst", 1, "hub: submit alerts in SubmitBatch bursts of this size (1 = one-at-a-time Submit)")
 	routeBatch := flag.Int("route-batch", 0, "hub: max queued alerts a shard loop routes per wakeup (0 = default, 1 = alert-at-a-time)")
+	guaranteedFrac := flag.Float64("guaranteed-frac", 0.05, "hub: fraction of tenants on the guaranteed delivery tier (outbox-backed)")
+	outboxDir := flag.String("outbox-dir", "", "hub: directory for the guaranteed-tier retry outbox journal (default: the run's temp dir)")
+	outboxBackoff := flag.Duration("outbox-backoff", 50*time.Millisecond, "hub: base outbox redelivery backoff (doubles per round, capped)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -95,6 +107,7 @@ func main() {
 			walSegBytes: *walSegBytes, walCkptEvery: *walCkptEvery,
 			modeFrac: *modeFrac, ackTimeout: *ackTimeout, imAckP: *imAckP,
 			burst: *burst, routeBatch: *routeBatch,
+			guaranteedFrac: *guaranteedFrac, outboxDir: *outboxDir, outboxBackoff: *outboxBackoff,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -227,6 +240,9 @@ type hubParams struct {
 	ackTimeout                time.Duration
 	imAckP                    float64
 	burst, routeBatch         int
+	guaranteedFrac            float64
+	outboxDir                 string
+	outboxBackoff             time.Duration
 }
 
 // runHub hosts N tenants behind a K-way sharded hub and drives a
@@ -244,6 +260,9 @@ func runHub(p hubParams) error {
 	}
 	if p.modeFrac < 0 || p.modeFrac > 1 || p.imAckP < 0 || p.imAckP > 1 {
 		return fmt.Errorf("simbad: -mode-frac and -im-ack-p must be in [0,1]")
+	}
+	if p.guaranteedFrac < 0 || p.guaranteedFrac > 1 {
+		return fmt.Errorf("simbad: -guaranteed-frac must be in [0,1]")
 	}
 	if p.burst < 1 {
 		return fmt.Errorf("simbad: -burst must be >= 1")
@@ -285,6 +304,12 @@ func runHub(p hubParams) error {
 			return core.SendResult{Confirmed: true}, nil
 		}))
 
+	outboxDir := p.outboxDir
+	if outboxDir == "" {
+		outboxDir = tmp
+	} else if err := os.MkdirAll(outboxDir, 0o755); err != nil {
+		return fmt.Errorf("creating outbox dir: %w", err)
+	}
 	h, err = hub.New(hub.Config{
 		Clock:              clk,
 		Sink:               sink,
@@ -298,11 +323,14 @@ func runHub(p hubParams) error {
 		WALSegmentBytes:    p.walSegBytes,
 		WALCheckpointEvery: p.walCkptEvery,
 		RouteBatch:         p.routeBatch,
+		OutboxPath:         filepath.Join(outboxDir, "hub.outbox"),
+		OutboxBackoff:      p.outboxBackoff,
 	})
 	if err != nil {
 		return err
 	}
 	modeUsers := int(p.modeFrac * float64(users))
+	guaranteedUsers := int(p.guaranteedFrac * float64(users))
 	for i := 0; i < users; i++ {
 		user := fmt.Sprintf("user-%d", i)
 		b, err := h.AddUser(user)
@@ -311,6 +339,11 @@ func runHub(p hubParams) error {
 		}
 		b.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
 		b.Pipeline().Aggregator.Map("stocks", "Investment")
+		if i < guaranteedUsers {
+			if err := b.SetTier(core.TierGuaranteed); err != nil {
+				return err
+			}
+		}
 		if i < modeUsers {
 			profile, err := core.NewProfile(user)
 			if err != nil {
@@ -337,8 +370,8 @@ func runHub(p hubParams) error {
 	if err := h.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("hub: hosting %d users on %d shards (queue depth %d, commit window %v, %d mode tenants, ack timeout %v)\n",
-		users, shards, hub.DefaultQueueDepth, p.window, modeUsers, p.ackTimeout)
+	fmt.Printf("hub: hosting %d users on %d shards (queue depth %d, commit window %v, %d mode tenants, %d guaranteed-tier, ack timeout %v, outbox backoff %v)\n",
+		users, shards, hub.DefaultQueueDepth, p.window, modeUsers, guaranteedUsers, p.ackTimeout, p.outboxBackoff)
 
 	workers := 32
 	if workers > alerts {
@@ -441,6 +474,16 @@ func runHub(p hubParams) error {
 	fmt.Printf("delivered by channel: IM %d, SMS %d, email %d, flat substrate %d\n",
 		st.DeliveredByChannel[addr.TypeIM], st.DeliveredByChannel[addr.TypeSMS],
 		st.DeliveredByChannel[addr.TypeEmail], st.DeliveredByChannel[addr.TypeSink])
+	fmt.Printf("delivery tiers:\n")
+	fmt.Printf("  %-12s %10s %11s %6s %10s\n", "tier", "delivered", "duplicated", "lost", "escalated")
+	for _, ts := range st.Tiers {
+		fmt.Printf("  %-12s %10d %11d %6d %10d\n",
+			ts.Tier, ts.Delivered, ts.Duplicated, ts.Lost, ts.Escalated)
+	}
+	if ob := st.Outbox; ob != nil {
+		fmt.Printf("outbox: %d handoffs, %d redelivered (%d failed rounds, %d escalations), %d dropped, %d still pending\n",
+			st.OutboxHandoffs, ob.Redelivered, ob.Rounds, ob.Escalated, ob.Dropped, ob.Pending)
+	}
 	for _, s := range st.Shards {
 		fmt.Printf("  shard %d: peak queue depth %d, peak in-flight deliveries %d\n",
 			s.Shard, s.PeakDepth, s.PeakInFlight)

@@ -26,6 +26,9 @@ type Subscription struct {
 	Category string
 	User     string
 	Mode     string
+	// Tier is the subscription's delivery QoS contract. The zero value
+	// is TierBestEffort — the historical semantics.
+	Tier Tier
 }
 
 // Profile is one registered user's addresses and delivery modes.
@@ -145,8 +148,18 @@ func (s *Store) User(name string) (*Profile, error) {
 // this is the one-stop "switch all my Investment alerts from SMS to
 // IM" operation the paper motivates.
 func (s *Store) Subscribe(category, user, mode string) error {
+	return s.SubscribeTier(category, user, mode, TierBestEffort)
+}
+
+// SubscribeTier is Subscribe with an explicit delivery QoS tier.
+// Re-subscribing the same (category, user) replaces both the mode and
+// the tier.
+func (s *Store) SubscribeTier(category, user, mode string, tier Tier) error {
 	if category == "" {
 		return errors.New("core: empty category")
+	}
+	if !tier.Valid() {
+		return fmt.Errorf("core: subscribe %s/%s: invalid tier %d", category, user, tier)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -164,10 +177,11 @@ func (s *Store) Subscribe(category, user, mode string) error {
 	for i := range subs {
 		if subs[i].User == user {
 			subs[i].Mode = mode
+			subs[i].Tier = tier
 			return nil
 		}
 	}
-	s.subs[category] = append(subs, Subscription{Category: category, User: user, Mode: mode})
+	s.subs[category] = append(subs, Subscription{Category: category, User: user, Mode: mode, Tier: tier})
 	return nil
 }
 

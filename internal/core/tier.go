@@ -1,0 +1,52 @@
+package core
+
+// Tier is the delivery quality-of-service contract attached to a
+// subscription. The paper's buddy treats every alert identically:
+// retries are in-memory only, so a crash mid-backoff or an exhausted
+// attempt budget loses the alert permanently. Splitting subscriptions
+// into guaranteed and best-effort (the orca ADR's essential vs
+// best-effort notification split) lets the hosting layer spend
+// durability only where the user asked for it:
+//
+//   - TierBestEffort keeps the historical semantics: a fixed in-memory
+//     attempt budget, then the alert is dropped — but the drop is now
+//     counted, never silent.
+//   - TierGuaranteed never drops on attempt exhaustion: the delivery
+//     state is persisted to a WAL-backed outbox that survives process
+//     restarts and redelivers with escalating backoff, eventually
+//     escalating to the mode's backup channels (the paper's block
+//     fallback generalized across restarts). Duplicates introduced by
+//     redelivery are covered by the timestamp dedup contract, giving
+//     at-least-once-with-dedup delivery.
+//
+// The zero value is TierBestEffort, so existing subscriptions keep
+// their semantics unchanged.
+type Tier uint8
+
+// Delivery QoS tiers.
+const (
+	// TierBestEffort drops the alert after the in-memory attempt
+	// budget, counting the loss.
+	TierBestEffort Tier = iota
+	// TierGuaranteed persists exhausted deliveries to the retry outbox
+	// and redelivers until confirmed.
+	TierGuaranteed
+)
+
+// NumTiers is the number of defined tiers, for per-tier counter arrays.
+const NumTiers = 2
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierBestEffort:
+		return "best-effort"
+	case TierGuaranteed:
+		return "guaranteed"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether t is a defined tier.
+func (t Tier) Valid() bool { return t < NumTiers }

@@ -135,6 +135,7 @@ const (
 	KindMachineReboot   Kind = "machine-reboot"   // MDC escalated to a reboot
 	KindRejuvenation    Kind = "rejuvenation"     // scheduled or remote rejuvenation
 	KindReplay          Kind = "replay"           // pessimistic-log replay of an alert
+	KindOutbox          Kind = "outbox"           // retry-outbox redelivery action
 	KindUnrecovered     Kind = "unrecovered"      // failure the mechanisms could not fix
 )
 

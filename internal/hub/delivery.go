@@ -10,6 +10,7 @@ import (
 	"simba/internal/dist"
 	"simba/internal/faults"
 	"simba/internal/metrics"
+	"simba/internal/outbox"
 	"simba/internal/plog"
 	"sync"
 )
@@ -158,11 +159,15 @@ func (d *deliveryStage) release() {
 // attempts — every block exhausted — with capped exponential backoff +
 // jitter, and only then stage the WAL DONE record. A kill abandons the
 // job before the mark, leaving the entry for the next incarnation to
-// replay.
+// replay. What attempt exhaustion means depends on the QoS tier:
+// best-effort drops the alert (counted as lost); guaranteed persists
+// the envelope to the retry outbox — durably, before the WAL entry is
+// retired, so ownership transfers between the logs with no uncovered
+// instant — and the outbox redelivers with escalating backoff.
 func (d *deliveryStage) perform(job deliveryJob) {
 	h := d.h
 	b := job.env.buddy
-	reg, mode := h.plan(b, job.category)
+	reg, mode, tier := h.plan(b, job.category)
 	ctx := core.DeliveryContext{User: b.user, Shard: d.sh.id}
 	for attempt := 1; ; attempt++ {
 		rep, err := h.exec.DeliverAs(ctx, job.routed, reg, mode)
@@ -172,6 +177,7 @@ func (d *deliveryStage) perform(job deliveryJob) {
 		if err == nil {
 			b.delivered.Add(1)
 			h.ctr.delivered.Add1()
+			h.ctr.tierDelivered[tier].Add1()
 			if via, ok := h.deliveredVia[rep.DeliveredType()]; ok {
 				via.Add1()
 			} else {
@@ -180,7 +186,27 @@ func (d *deliveryStage) perform(job deliveryJob) {
 			break
 		}
 		if attempt >= h.cfg.DeliveryMaxAttempts {
-			h.ctr.undeliverable.Add1()
+			if tier == core.TierGuaranteed && h.outbox != nil {
+				if !d.handoff(job, attempt) {
+					// The envelope could not be made durable in the
+					// outbox; leave the WAL entry unprocessed so the next
+					// incarnation replays the alert instead of losing it.
+					h.deliverLat.Observe(h.cfg.Clock.Since(job.handed))
+					d.sh.release()
+					return
+				}
+				h.ctr.outboxHandoffs.Add1()
+				if f := h.cfg.CrashAfterOutboxPut; f != nil && f.Active() {
+					// The handoff window: the outbox owns the envelope but
+					// the WAL entry is not yet retired — both logs replay
+					// it next incarnation; dedup collapses the duplicate.
+					h.crash(b.user, job.env.alert)
+					return
+				}
+			} else {
+				h.ctr.undeliverable.Add1()
+				h.ctr.tierLost[tier].Add1()
+			}
 			break
 		}
 		h.ctr.deliveryRetries.Add1()
@@ -203,6 +229,29 @@ func (d *deliveryStage) perform(job deliveryJob) {
 	}
 	h.latency.Observe(h.cfg.Clock.Since(job.env.at))
 	d.sh.release()
+}
+
+// handoff persists an attempt-exhausted guaranteed-tier delivery to
+// the retry outbox. A true return means the envelope is fsynced there
+// and the caller may retire the ingest WAL entry; false means the
+// outbox rejected it (closed during shutdown, encoding failure) and
+// the WAL entry must stay unprocessed.
+func (d *deliveryStage) handoff(job deliveryJob, attempts int) bool {
+	h := d.h
+	err := h.outbox.Put(outbox.Entry{
+		User:     job.env.buddy.user,
+		Category: job.category,
+		Alert:    job.routed,
+		Attempts: attempts,
+	})
+	if err != nil {
+		h.journal(faults.KindOutbox, "outbox handoff failed for %s alert %s: %v",
+			job.env.buddy.user, job.routed.DedupKey(), err)
+		return false
+	}
+	h.journal(faults.KindOutbox, "handed %s alert %s to the outbox after %d attempts",
+		job.env.buddy.user, job.routed.DedupKey(), attempts)
+	return true
 }
 
 // backoff sleeps before retry attempt+1: exponential in the attempt

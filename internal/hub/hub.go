@@ -51,6 +51,7 @@ import (
 	"simba/internal/im"
 	"simba/internal/mab"
 	"simba/internal/metrics"
+	"simba/internal/outbox"
 	"simba/internal/plog"
 )
 
@@ -216,12 +217,38 @@ type Config struct {
 	// handed off under one delivery-stage lock acquisition. Zero means
 	// DefaultRouteBatch; one restores strict alert-at-a-time routing.
 	RouteBatch int
+	// OutboxPath, when set, opens the guaranteed-tier retry outbox at
+	// this journal base path. Guaranteed-tier deliveries that exhaust
+	// the in-memory attempt budget are persisted there and redelivered
+	// with escalating backoff across restarts; when empty, guaranteed
+	// subscriptions degrade to best-effort (the drop is still counted
+	// as lost). Optional.
+	OutboxPath string
+	// OutboxBackoff is the outbox's base per-round redelivery backoff;
+	// zero means outbox.DefaultBackoff.
+	OutboxBackoff time.Duration
+	// OutboxBackoffCap caps the outbox's exponential round backoff;
+	// zero means outbox.DefaultBackoffCap.
+	OutboxBackoffCap time.Duration
+	// OutboxEscalateEvery is how many exhausted outbox rounds an
+	// envelope spends per delivery-mode block before escalating to the
+	// next block; zero means outbox.DefaultEscalateEvery, negative
+	// disables escalation.
+	OutboxEscalateEvery int
 	// CrashBeforeMark is a fault-injection point: when the flag is
 	// active, a delivery worker that has just executed a delivery kills
 	// the whole hub before marking the alert processed — the paper's
 	// crash-between-routing-and-marking window, now inside the
 	// asynchronous delivery stage. Optional.
 	CrashBeforeMark *faults.Flag
+	// CrashAfterOutboxPut is a fault-injection point for the
+	// guaranteed-tier handoff window: when the flag is active, a
+	// delivery worker that has just persisted an exhausted envelope to
+	// the outbox kills the hub before retiring the ingest WAL entry —
+	// the instant both logs own the alert. The next incarnation replays
+	// it from both; the duplicate is the dedup contract's case.
+	// Optional.
+	CrashAfterOutboxPut *faults.Flag
 	// CrashAfterBatchFsync is a fault-injection point for the batched
 	// ingest path: when the flag is active, SubmitBatch kills the hub
 	// after its RECV batch is durable but before any entry is enqueued
@@ -253,6 +280,20 @@ type Buddy struct {
 type buddyState struct {
 	profile *core.Profile
 	subs    map[string]string // routing category → delivery-mode name
+	// tiers holds per-category QoS overrides (SubscribeTier);
+	// categories without an entry use defaultTier.
+	tiers       map[string]core.Tier
+	defaultTier core.Tier
+}
+
+// clone copies the snapshot for a mutator, sharing the immutable maps
+// the mutation does not touch.
+func (s *buddyState) clone() *buddyState {
+	if s == nil {
+		return &buddyState{}
+	}
+	c := *s
+	return &c
 }
 
 // User returns the tenant's user ID.
@@ -267,11 +308,8 @@ func (b *Buddy) Pipeline() *mab.Pipeline { return b.pipe }
 // hub's delivery workers; all other alerts use the flat substrate.
 func (b *Buddy) SetProfile(p *core.Profile) {
 	b.mu.Lock()
-	cur := b.state.Load()
-	next := &buddyState{profile: p}
-	if cur != nil {
-		next.subs = cur.subs // immutable once published; safe to share
-	}
+	next := b.state.Load().clone() // maps are immutable once published; safe to share
+	next.profile = p
 	b.state.Store(next)
 	b.mu.Unlock()
 }
@@ -286,8 +324,23 @@ func (b *Buddy) Profile() *core.Profile {
 
 // Subscribe maps a routing category to one of the profile's delivery
 // modes, mirroring Store.Subscribe on the hosted path. The profile
-// must be set and must define the mode.
+// must be set and must define the mode. The subscription's QoS tier is
+// the tenant's default (SetTier); SubscribeTier overrides it
+// per-category.
 func (b *Buddy) Subscribe(category, mode string) error {
+	return b.subscribe(category, mode, nil)
+}
+
+// SubscribeTier is Subscribe with an explicit per-category delivery
+// QoS tier, mirroring Store.SubscribeTier on the hosted path.
+func (b *Buddy) SubscribeTier(category, mode string, tier core.Tier) error {
+	if !tier.Valid() {
+		return fmt.Errorf("hub: subscribe %s/%s: invalid tier %d", b.user, category, tier)
+	}
+	return b.subscribe(category, mode, &tier)
+}
+
+func (b *Buddy) subscribe(category, mode string, tier *core.Tier) error {
 	if category == "" {
 		return errors.New("hub: empty category")
 	}
@@ -300,13 +353,59 @@ func (b *Buddy) Subscribe(category, mode string) error {
 	if _, err := cur.profile.Mode(mode); err != nil {
 		return err
 	}
-	next := &buddyState{profile: cur.profile, subs: make(map[string]string, len(cur.subs)+1)}
+	next := cur.clone()
+	next.subs = make(map[string]string, len(cur.subs)+1)
 	for k, v := range cur.subs {
 		next.subs[k] = v
 	}
 	next.subs[category] = mode
+	if tier != nil {
+		next.tiers = make(map[string]core.Tier, len(cur.tiers)+1)
+		for k, v := range cur.tiers {
+			next.tiers[k] = v
+		}
+		next.tiers[category] = *tier
+	}
 	b.state.Store(next)
 	return nil
+}
+
+// SetTier sets the tenant's default delivery QoS tier: the tier of
+// every category without a SubscribeTier override, including alerts
+// that route through the flat substrate. The zero default is
+// TierBestEffort — the historical semantics.
+func (b *Buddy) SetTier(tier core.Tier) error {
+	if !tier.Valid() {
+		return fmt.Errorf("hub: tenant %s: invalid tier %d", b.user, tier)
+	}
+	b.mu.Lock()
+	next := b.state.Load().clone()
+	next.defaultTier = tier
+	b.state.Store(next)
+	b.mu.Unlock()
+	return nil
+}
+
+// DefaultTier returns the tenant's default delivery QoS tier.
+func (b *Buddy) DefaultTier() core.Tier {
+	if s := b.state.Load(); s != nil {
+		return s.defaultTier
+	}
+	return core.TierBestEffort
+}
+
+// Tier returns the delivery QoS tier alerts routed to category carry:
+// the category's SubscribeTier override when present, else the
+// tenant's default.
+func (b *Buddy) Tier(category string) core.Tier {
+	s := b.state.Load()
+	if s == nil {
+		return core.TierBestEffort
+	}
+	if t, ok := s.tiers[category]; ok {
+		return t
+	}
+	return s.defaultTier
 }
 
 // Routed returns how many alerts passed the tenant's pipeline.
@@ -321,6 +420,9 @@ type Hub struct {
 	cfg    Config
 	wal    *plog.GroupLog
 	shards []*shard
+	// outbox is the guaranteed-tier retry outbox; nil when
+	// Config.OutboxPath is empty.
+	outbox *outbox.Outbox
 
 	// The shared delivery machinery: channel registry, ack table, and
 	// the stateless mode executor every delivery worker calls into.
@@ -351,7 +453,10 @@ type Hub struct {
 	ctr struct {
 		received, duplicates, rejectsOverload, rejectedInvalid, rejectedUnknownUser *metrics.Counter
 		routed, rejected, filtered, markFailed                                      *metrics.Counter
-		delivered, undeliverable, deliveryRetries                                   *metrics.Counter
+		delivered, undeliverable, deliveryRetries, outboxHandoffs                   *metrics.Counter
+		// Per-QoS-tier outcome counters, indexed by core.Tier:
+		// delivered-tier-*, duplicates-tier-*, lost-tier-*.
+		tierDelivered, tierDuplicated, tierLost [core.NumTiers]*metrics.Counter
 	}
 	// deliveredVia maps the standard channel types to their resolved
 	// delivered-via-<type> counters; unknown types fall back to a name
@@ -453,6 +558,12 @@ func New(cfg Config) (*Hub, error) {
 	h.ctr.delivered = h.counters.Counter("delivered")
 	h.ctr.undeliverable = h.counters.Counter("undeliverable")
 	h.ctr.deliveryRetries = h.counters.Counter("delivery-retries")
+	h.ctr.outboxHandoffs = h.counters.Counter("outbox-handoffs")
+	for t := core.Tier(0); t < core.NumTiers; t++ {
+		h.ctr.tierDelivered[t] = h.counters.Counter("delivered-tier-" + t.String())
+		h.ctr.tierDuplicated[t] = h.counters.Counter("duplicates-tier-" + t.String())
+		h.ctr.tierLost[t] = h.counters.Counter("lost-tier-" + t.String())
+	}
 	h.deliveredVia = make(map[addr.Type]*metrics.Counter, 4)
 	for _, t := range []addr.Type{addr.TypeIM, addr.TypeSMS, addr.TypeEmail, addr.TypeSink} {
 		h.deliveredVia[t] = h.counters.Counter(deliveredViaCounter(t))
@@ -488,8 +599,27 @@ func New(cfg Config) (*Hub, error) {
 		sh.delivery = newDeliveryStage(h, sh)
 		h.shards[i] = sh
 	}
+	if cfg.OutboxPath != "" {
+		ob, err := outbox.Open(outbox.Options{
+			Clock:         cfg.Clock,
+			Path:          cfg.OutboxPath,
+			Backoff:       cfg.OutboxBackoff,
+			BackoffCap:    cfg.OutboxBackoffCap,
+			EscalateEvery: cfg.OutboxEscalateEvery,
+			Journal:       cfg.Journal,
+		})
+		if err != nil {
+			_ = wal.Close()
+			return nil, err
+		}
+		h.outbox = ob
+	}
 	return h, nil
 }
+
+// Outbox returns the guaranteed-tier retry outbox, nil when the hub
+// was configured without one.
+func (h *Hub) Outbox() *outbox.Outbox { return h.outbox }
 
 // Executor returns the hub's shared mode executor.
 func (h *Hub) Executor() *core.Executor { return h.exec }
@@ -508,26 +638,34 @@ func (h *Hub) HandleIncoming(msg im.Message) bool {
 }
 
 // plan resolves which registry and delivery mode one routed alert
-// executes: the tenant's subscribed mode for the alert's category when
-// the tenant carries a profile, else the hub's synthesized flat mode
-// (one pass through the FlatSink substrate channel). Personalized
-// blocks without an explicit timeout are bounded by Config.AckTimeout.
-// Reads the tenant's copy-on-write state snapshot — no locks.
-func (h *Hub) plan(b *Buddy, category string) (*addr.Registry, *dmode.Mode) {
+// executes — the tenant's subscribed mode for the alert's category
+// when the tenant carries a profile, else the hub's synthesized flat
+// mode (one pass through the FlatSink substrate channel) — plus the
+// QoS tier the delivery runs under. Personalized blocks without an
+// explicit timeout are bounded by Config.AckTimeout. Reads the
+// tenant's copy-on-write state snapshot — no locks.
+func (h *Hub) plan(b *Buddy, category string) (*addr.Registry, *dmode.Mode, core.Tier) {
 	s := b.state.Load()
-	if s == nil || s.profile == nil {
-		return h.flatReg, h.flatMode
+	if s == nil {
+		return h.flatReg, h.flatMode, core.TierBestEffort
+	}
+	tier, hasTier := s.tiers[category]
+	if !hasTier {
+		tier = s.defaultTier
+	}
+	if s.profile == nil {
+		return h.flatReg, h.flatMode, tier
 	}
 	p := s.profile
 	modeName, subscribed := s.subs[category]
 	if !subscribed {
-		return h.flatReg, h.flatMode
+		return h.flatReg, h.flatMode, tier
 	}
 	mode, err := p.Mode(modeName)
 	if err != nil {
 		// The mode was deleted after Subscribe; deliver flat rather
 		// than losing the alert.
-		return h.flatReg, h.flatMode
+		return h.flatReg, h.flatMode, tier
 	}
 	if h.cfg.AckTimeout > 0 {
 		for i := range mode.Blocks {
@@ -536,7 +674,7 @@ func (h *Hub) plan(b *Buddy, category string) (*addr.Registry, *dmode.Mode) {
 			}
 		}
 	}
-	return p.Addresses(), mode
+	return p.Addresses(), mode, tier
 }
 
 // AddUser registers a tenant. The returned Buddy's pipeline accepts no
@@ -580,8 +718,15 @@ func (h *Hub) shardOf(user string) *shard {
 	return h.shards[int(f.Sum32())%len(h.shards)]
 }
 
-// Start launches the shard loops, replays every user's unprocessed WAL
-// entries through their rebuilt buddies, and only then opens admission.
+// Start launches the shard loops, starts the outbox redelivery loop
+// over the envelopes it recovered, replays every user's unprocessed
+// WAL entries through their rebuilt buddies, and only then opens
+// admission. Recovery ordering: the outbox starts before the WAL
+// replay is enqueued — an alert that crashed inside the handoff window
+// is owed by both logs, and scheduling the outbox's (older, already
+// attempt-exhausted) copy first means its redelivery is never starved
+// behind the replayed ingest backlog. Both recovery streams run before
+// admission opens; their duplicates are the dedup contract's case.
 func (h *Hub) Start() error {
 	h.mu.Lock()
 	if h.started {
@@ -594,9 +739,53 @@ func (h *Hub) Start() error {
 		h.loops.Add(1)
 		go h.run(sh)
 	}
+	if h.outbox != nil {
+		if err := h.outbox.Start(h.redeliver); err != nil {
+			return err
+		}
+	}
 	h.replay()
 	h.accepting.Store(true)
 	return nil
+}
+
+// redeliver executes one outbox redelivery round: re-resolve the
+// tenant's plan (the subscription may have changed since the envelope
+// was persisted), slice off the blocks the envelope's escalation
+// offset has advanced past, and run the remainder through the shared
+// mode executor. Reports the plan's full block count so the outbox
+// knows the escalation ceiling. A tenant that is no longer hosted
+// retires the envelope as undeliverable (outbox.ErrDrop).
+func (h *Hub) redeliver(e *outbox.Entry) (int, error) {
+	b, hosted := h.buddy(e.User)
+	if !hosted {
+		h.ctr.tierLost[core.TierGuaranteed].Add1()
+		return 0, fmt.Errorf("hub: outbox envelope for unhosted user %q: %w", e.User, outbox.ErrDrop)
+	}
+	reg, mode, _ := h.plan(b, e.Category)
+	blocks := len(mode.Blocks)
+	if e.Offset >= blocks {
+		e.Offset = blocks - 1 // plan shrank since the offset advanced
+	}
+	if e.Offset > 0 {
+		mode = &dmode.Mode{Name: mode.Name, Blocks: mode.Blocks[e.Offset:]}
+	}
+	ctx := core.DeliveryContext{User: e.User, Shard: h.shardOf(e.User).id}
+	rep, err := h.exec.DeliverAs(ctx, e.Alert, reg, mode)
+	if f := h.cfg.OnDelivery; f != nil {
+		f(e.User, rep, err)
+	}
+	if err == nil {
+		b.delivered.Add(1)
+		h.ctr.delivered.Add1()
+		h.ctr.tierDelivered[core.TierGuaranteed].Add1()
+		if via, ok := h.deliveredVia[rep.DeliveredType()]; ok {
+			via.Add1()
+		} else {
+			h.counters.Add1(deliveredViaCounter(rep.DeliveredType()))
+		}
+	}
+	return blocks, err
 }
 
 // replay re-enqueues the WAL's unprocessed entries, per user, in
@@ -712,7 +901,7 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			_, inBurst = seen[key]
 		}
 		if inBurst || h.wal.Has(key) {
-			pending = append(pending, submitPending{idx: i, key: key, dup: true})
+			pending = append(pending, submitPending{idx: i, buddy: b, key: key, dup: true})
 			continue
 		}
 		if seen == nil {
@@ -802,6 +991,10 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 		p := &admitted[i]
 		if p.dup {
 			h.ctr.duplicates.Add1()
+			// The routing category (and with it any per-category tier
+			// override) is unknown until the pipeline runs, so duplicate
+			// suppression is attributed to the tenant's default tier.
+			h.ctr.tierDuplicated[p.buddy.DefaultTier()].Add1()
 			continue
 		}
 		h.ctr.received.Add1()
@@ -952,21 +1145,33 @@ func (h *Hub) Stopped() <-chan struct{} { return h.stopped }
 func (h *Hub) shutdown() {
 	h.stopOnce.Do(func() {
 		h.loops.Wait()
+		var outboxErr error
 		select {
 		case <-h.killed:
 			// Crash semantics: do not wait for delivery workers — they
 			// observe the kill and abandon; the WAL replays their undone
 			// entries. A worker racing past the kill check hits the
-			// closed WAL and ErrClosed is tolerated.
+			// closed WAL and ErrClosed is tolerated. The outbox journal
+			// closes the same way: a redelivery round racing its mark
+			// replays next incarnation.
+			if h.outbox != nil {
+				h.outbox.Kill()
+			}
 		default:
 			// Graceful drain: the shard loops have exited, so no new
 			// jobs can reach the stages; wait for every in-flight and
-			// chained delivery to complete and stage its DONE record.
+			// chained delivery to complete and stage its DONE record
+			// (guaranteed-tier exhaustions hand off to the outbox, so
+			// the stages must quiesce before the outbox closes). Still-
+			// pending envelopes stay durable for the next incarnation.
 			for _, sh := range h.shards {
 				sh.delivery.wg.Wait()
 			}
+			if h.outbox != nil {
+				outboxErr = h.outbox.Close()
+			}
 		}
-		h.closeErr = h.wal.Close()
+		h.closeErr = errors.Join(h.wal.Close(), outboxErr)
 		close(h.stopped)
 	})
 }
@@ -1025,6 +1230,23 @@ type ShardStat struct {
 	PeakInFlight int
 }
 
+// TierStat is one delivery QoS tier's outcome counters.
+type TierStat struct {
+	Tier core.Tier
+	// Delivered counts confirmed deliveries under the tier (outbox
+	// redeliveries included for the guaranteed tier).
+	Delivered int64
+	// Duplicated counts duplicate submissions suppressed for tenants
+	// whose default tier this is.
+	Duplicated int64
+	// Lost counts alerts dropped after the attempt budget (best-effort)
+	// or retired as permanently undeliverable (guaranteed; tenant gone).
+	Lost int64
+	// Escalated counts outbox channel escalations: redelivery advancing
+	// to the delivery mode's next block. Always zero for best-effort.
+	Escalated int64
+}
+
 // Stats is a point-in-time snapshot of the hub's health.
 type Stats struct {
 	Users   int
@@ -1039,6 +1261,14 @@ type Stats struct {
 	// communication type that confirmed them (addr.TypeSink is the flat
 	// substrate). Types with zero deliveries are omitted.
 	DeliveredByChannel map[addr.Type]int64
+	// Tiers splits delivery outcomes by QoS tier, indexed by core.Tier.
+	Tiers [core.NumTiers]TierStat
+	// OutboxHandoffs counts guaranteed-tier deliveries that exhausted
+	// the in-memory budget and were persisted to the retry outbox.
+	OutboxHandoffs int64
+	// Outbox is the retry outbox's snapshot; nil when the hub runs
+	// without one.
+	Outbox *outbox.Stats
 	// WAL is the journal's segmentation/compaction snapshot: live
 	// segments, checkpoints written, compacted bytes, retired records.
 	WAL plog.Stats
@@ -1060,6 +1290,20 @@ func (h *Hub) Stats() Stats {
 			}
 			s.DeliveredByChannel[t] = n
 		}
+	}
+	for t := core.Tier(0); t < core.NumTiers; t++ {
+		s.Tiers[t] = TierStat{
+			Tier:       t,
+			Delivered:  h.ctr.tierDelivered[t].Value(),
+			Duplicated: h.ctr.tierDuplicated[t].Value(),
+			Lost:       h.ctr.tierLost[t].Value(),
+		}
+	}
+	s.OutboxHandoffs = h.ctr.outboxHandoffs.Value()
+	if h.outbox != nil {
+		ob := h.outbox.Stats()
+		s.Outbox = &ob
+		s.Tiers[core.TierGuaranteed].Escalated = ob.Escalated
 	}
 	if s.Syncs > 0 {
 		s.MeanBatch = float64(s.Appends) / float64(s.Syncs)

@@ -1,0 +1,186 @@
+package outbox
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"simba/internal/alert"
+)
+
+// keySep joins the envelope key's fields (user, alert dedup key, round)
+// inside the outbox journal. It is the same control character the hub
+// uses in its WAL keys, which no user ID contains.
+const keySep = "\x1f"
+
+// envelopeHeader versions the persisted envelope payload.
+const envelopeHeader = "SIMBA-OUTBOX/1"
+
+// Entry is one guaranteed-tier delivery the outbox owes the user: the
+// routed alert plus everything a later incarnation needs to resume the
+// delivery — the tenant, the routing category (which selects the
+// subscribed delivery mode), how much work has already been spent, the
+// escalation offset, and when the next redelivery round is due.
+type Entry struct {
+	// User is the tenant the alert is owed to.
+	User string
+	// Category is the routing category the tenant's pipeline assigned;
+	// redelivery resolves the subscribed delivery mode through it.
+	Category string
+	// Alert is the routed alert. Its Created timestamp is preserved, so
+	// redelivered duplicates stay detectable downstream (the paper's
+	// timestamp dedup contract).
+	Alert *alert.Alert
+	// Attempts counts the in-memory delivery attempts spent before the
+	// envelope was handed to the outbox.
+	Attempts int
+	// Round counts completed (failed) outbox redelivery rounds.
+	Round int
+	// Offset is the escalation state: the index of the first delivery-
+	// mode block redelivery should try. It advances after every
+	// EscalateEvery exhausted rounds — the paper's block fallback
+	// generalized across process restarts — and is clamped to the
+	// mode's last block by the delivery callback.
+	Offset int
+	// Due is when the next redelivery round fires.
+	Due time.Time
+}
+
+// validate checks the entry is persistable.
+func (e *Entry) validate() error {
+	switch {
+	case e == nil:
+		return errors.New("outbox: nil entry")
+	case e.User == "":
+		return errors.New("outbox: entry missing user")
+	case strings.ContainsAny(e.User, keySep+"\n"):
+		return fmt.Errorf("outbox: user %q contains reserved separator", e.User)
+	case strings.ContainsAny(e.Category, "\n"):
+		return fmt.Errorf("outbox: category %q contains newline", e.Category)
+	case e.Alert == nil:
+		return errors.New("outbox: entry missing alert")
+	case e.Attempts < 0 || e.Round < 0 || e.Offset < 0:
+		return errors.New("outbox: negative attempt state")
+	}
+	return e.Alert.Validate()
+}
+
+// dedupKey identifies the alert the entry redelivers, independent of
+// its round: re-persisted rounds of the same alert collapse under it.
+func (e *Entry) dedupKey() string { return e.User + keySep + e.Alert.DedupKey() }
+
+// key is the round-stamped journal key the entry is persisted under.
+func (e *Entry) key() string { return e.dedupKey() + keySep + strconv.Itoa(e.Round) }
+
+// splitKey parses a journal key into the alert identity and round.
+func splitKey(key string) (dedup string, round int, err error) {
+	i := strings.LastIndex(key, keySep)
+	if i < 0 {
+		return "", 0, fmt.Errorf("outbox: malformed key %q", key)
+	}
+	round, err = strconv.Atoi(key[i+1:])
+	if err != nil || round < 0 {
+		return "", 0, fmt.Errorf("outbox: malformed round in key %q", key)
+	}
+	return key[:i], round, nil
+}
+
+// encode renders the envelope payload: a line-oriented header (in the
+// style of the alert wire form) followed by the embedded alert.
+//
+//	SIMBA-OUTBOX/1
+//	USER: <user>
+//	CATEGORY: <category>
+//	ATTEMPTS: <n>
+//	ROUND: <n>
+//	OFFSET: <n>
+//	DUE: <unix-nanos>
+//	ALERT:
+//	<alert wire form...>
+func (e *Entry) encode() ([]byte, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	payload, err := e.Alert.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.Grow(len(payload) + 128)
+	b.WriteString(envelopeHeader)
+	b.WriteByte('\n')
+	field := func(k, v string) {
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(v)
+		b.WriteByte('\n')
+	}
+	field("USER", e.User)
+	field("CATEGORY", e.Category)
+	field("ATTEMPTS", strconv.Itoa(e.Attempts))
+	field("ROUND", strconv.Itoa(e.Round))
+	field("OFFSET", strconv.Itoa(e.Offset))
+	field("DUE", strconv.FormatInt(e.Due.UnixNano(), 10))
+	b.WriteString("ALERT:\n")
+	b.Write(payload)
+	return []byte(b.String()), nil
+}
+
+// decodeEntry parses an envelope payload produced by encode.
+func decodeEntry(payload []byte) (*Entry, error) {
+	text := string(payload)
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != envelopeHeader {
+		return nil, errors.New("outbox: not an outbox envelope")
+	}
+	e := &Entry{}
+	i := 1
+	for ; i < len(lines); i++ {
+		if lines[i] == "ALERT:" {
+			i++
+			break
+		}
+		key, val, ok := strings.Cut(lines[i], ": ")
+		if !ok {
+			key, val, ok = strings.Cut(lines[i], ":")
+			if !ok {
+				return nil, fmt.Errorf("outbox: malformed envelope line %q", lines[i])
+			}
+		}
+		var err error
+		switch key {
+		case "USER":
+			e.User = val
+		case "CATEGORY":
+			e.Category = val
+		case "ATTEMPTS":
+			e.Attempts, err = strconv.Atoi(val)
+		case "ROUND":
+			e.Round, err = strconv.Atoi(val)
+		case "OFFSET":
+			e.Offset, err = strconv.Atoi(val)
+		case "DUE":
+			var nanos int64
+			nanos, err = strconv.ParseInt(val, 10, 64)
+			if err == nil {
+				e.Due = time.Unix(0, nanos)
+			}
+		default:
+			// Unknown fields are skipped for forward compatibility.
+		}
+		if err != nil {
+			return nil, fmt.Errorf("outbox: malformed envelope field %s: %w", key, err)
+		}
+	}
+	if i >= len(lines) {
+		return nil, errors.New("outbox: envelope missing alert")
+	}
+	var a alert.Alert
+	if err := a.UnmarshalText([]byte(strings.Join(lines[i:], "\n"))); err != nil {
+		return nil, fmt.Errorf("outbox: envelope alert: %w", err)
+	}
+	e.Alert = &a
+	return e, e.validate()
+}

@@ -1,0 +1,528 @@
+// Package outbox implements the durable retry outbox behind SIMBA's
+// guaranteed delivery tier. The hub's delivery stage retries failed
+// deliveries in memory with a bounded attempt budget; historically an
+// exhausted budget — or a crash mid-backoff — lost the alert
+// permanently, which contradicts the paper's headline claim of
+// dependable delivery. The outbox closes that gap for guaranteed-tier
+// subscriptions:
+//
+//   - When the in-memory budget is exhausted, the delivery envelope
+//     (alert + tenant + routing category + attempt state + next-due
+//     time) is persisted to a per-hub outbox journal before the hub's
+//     own WAL entry is retired, so ownership of the alert passes
+//     durably from the ingest WAL to the outbox — there is no instant
+//     at which neither log owns it.
+//   - A background redelivery loop, driven by the (possibly virtual)
+//     clock, re-executes due envelopes through a caller-supplied
+//     delivery function with exponential per-round backoff. Every
+//     failed round re-persists the envelope under a round-stamped key
+//     and tombstones the previous round in the same fsync
+//     (plog.Log.Replace), so the round/escalation state itself
+//     survives restarts.
+//   - After EscalateEvery exhausted rounds, the envelope's block
+//     offset advances: redelivery skips the delivery mode's leading
+//     (known-bad) blocks and starts at the next backup channel — the
+//     paper's block fallback generalized across process restarts.
+//   - On reopen, pending envelopes are loaded (stale rounds of the
+//     same alert collapse onto the newest) and scheduled before the
+//     host accepts traffic. Redelivered duplicates are covered by the
+//     alert-timestamp dedup contract: at-least-once-with-dedup.
+//
+// The journal reuses the plog segment/checkpoint/tombstone machinery,
+// so outbox disk and reopen time stay O(pending).
+package outbox
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simba/internal/clock"
+	"simba/internal/faults"
+	"simba/internal/metrics"
+	"simba/internal/plog"
+)
+
+// Defaults.
+const (
+	// DefaultBackoff is the base redelivery backoff: round n fires
+	// roughly Backoff·2ⁿ after the previous failure, capped.
+	DefaultBackoff = 50 * time.Millisecond
+	// DefaultBackoffCap caps the exponential round backoff.
+	DefaultBackoffCap = 30 * time.Second
+	// DefaultEscalateEvery is how many exhausted rounds an envelope
+	// spends per delivery-mode block before escalating to the next one.
+	DefaultEscalateEvery = 3
+)
+
+// ErrDrop, wrapped into a DeliverFunc error, tells the outbox the
+// envelope can never be delivered (e.g. the tenant is no longer
+// hosted) and should be retired and counted as lost instead of
+// retried.
+var ErrDrop = errors.New("outbox: undeliverable envelope")
+
+// DeliverFunc executes one redelivery round for an envelope. blocks
+// reports how many delivery-mode blocks the resolved plan has (the
+// escalation ceiling; 0 when the plan could not be resolved). The
+// callback may clamp e.Offset to the plan's last block; the clamped
+// value is what the outbox re-persists. Returning an error that wraps
+// ErrDrop retires the envelope as lost.
+type DeliverFunc func(e *Entry) (blocks int, err error)
+
+// Options parameterize an Outbox.
+type Options struct {
+	// Clock drives the redelivery loop; required.
+	Clock clock.Clock
+	// Path is the outbox journal base path; required.
+	Path string
+	// Backoff is the base per-round redelivery backoff; zero means
+	// DefaultBackoff.
+	Backoff time.Duration
+	// BackoffCap caps the exponential round backoff; zero means
+	// DefaultBackoffCap.
+	BackoffCap time.Duration
+	// EscalateEvery is how many exhausted rounds an envelope spends per
+	// block offset before escalating to the next block; zero means
+	// DefaultEscalateEvery, negative disables escalation.
+	EscalateEvery int
+	// Log tunes the underlying segmented journal.
+	Log plog.Options
+	// Journal records replay/recovery actions. Optional.
+	Journal *faults.Journal
+}
+
+// Stats is a point-in-time snapshot of the outbox.
+type Stats struct {
+	// Pending is the number of envelopes awaiting redelivery.
+	Pending int
+	// Loaded counts envelopes recovered from the journal at Open (after
+	// collapsing stale rounds).
+	Loaded int64
+	// Puts counts envelopes handed to the outbox since Open.
+	Puts int64
+	// Redelivered counts redelivery rounds that landed.
+	Redelivered int64
+	// Rounds counts exhausted (failed) redelivery rounds.
+	Rounds int64
+	// Escalated counts block-offset advances (channel escalations).
+	Escalated int64
+	// Dropped counts envelopes retired as undeliverable (ErrDrop).
+	Dropped int64
+	// RoundsToSuccess is the distribution of outbox rounds a delivered
+	// envelope needed (power-of-two buckets).
+	RoundsToSuccess metrics.HistogramSnapshot
+	// Log is the journal's segmentation/compaction snapshot.
+	Log plog.Stats
+}
+
+// item is one scheduled envelope: the entry plus its current persisted
+// key and the escalation ceiling learned from the delivery callback.
+type item struct {
+	e *Entry
+	// key is the round-stamped journal key the entry is currently
+	// persisted under.
+	key string
+	// maxOffset is the highest meaningful block offset (blocks-1), -1
+	// until the first delivery attempt reports the plan size.
+	maxOffset int
+}
+
+// entryHeap orders items by due time (earliest first).
+type entryHeap []*item
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].e.Due.Before(h[j].e.Due) }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)         { *h = append(*h, x.(*item)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Outbox is a WAL-backed persistent retry queue with a clock-driven
+// redelivery loop. It is safe for concurrent use; redeliveries
+// themselves run sequentially on the loop goroutine (outbox traffic is
+// the failure tail, not the hot path).
+type Outbox struct {
+	opts Options
+	log  *plog.Log
+
+	mu      sync.Mutex
+	pending entryHeap
+	started bool
+	closed  bool
+
+	deliver  DeliverFunc
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	loaded, puts, redelivered, rounds, escalated, dropped atomic.Int64
+	roundsToSuccess                                       *metrics.Histogram
+}
+
+// Open opens (creating if needed) the outbox journal and loads every
+// pending envelope, collapsing stale rounds of the same alert onto the
+// newest (the stale records are tombstoned). The redelivery loop does
+// not run until Start.
+func Open(opts Options) (*Outbox, error) {
+	if opts.Clock == nil {
+		return nil, errors.New("outbox: Options require Clock")
+	}
+	if opts.Path == "" {
+		return nil, errors.New("outbox: Options require Path")
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultBackoff
+	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = DefaultBackoffCap
+	}
+	if opts.BackoffCap < opts.Backoff {
+		opts.BackoffCap = opts.Backoff
+	}
+	if opts.EscalateEvery == 0 {
+		opts.EscalateEvery = DefaultEscalateEvery
+	}
+	l, err := plog.OpenWithOptions(opts.Path, opts.Log)
+	if err != nil {
+		return nil, fmt.Errorf("outbox: opening journal: %w", err)
+	}
+	o := &Outbox{
+		opts:            opts,
+		log:             l,
+		wake:            make(chan struct{}, 1),
+		stop:            make(chan struct{}),
+		done:            make(chan struct{}),
+		roundsToSuccess: &metrics.Histogram{},
+	}
+	if err := o.load(); err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	return o, nil
+}
+
+// load rebuilds the pending heap from the journal's unprocessed
+// records. A crash inside Replace can leave two rounds of the same
+// alert unprocessed (the torn tail drops the DONE, never the fresh
+// RECV); the highest round wins and the stale ones are tombstoned.
+// Unparsable records are tombstoned and journaled, never replayed.
+func (o *Outbox) load() error {
+	newest := make(map[string]*item)
+	now := o.opts.Clock.Now()
+	for _, rec := range o.log.Unprocessed() {
+		retire := func(key, why string) {
+			o.journal(faults.KindReplay, "outbox: tombstoning %s record %q", why, key)
+			_ = o.log.MarkProcessed(key, now)
+		}
+		dedup, round, err := splitKey(rec.Key)
+		if err != nil {
+			retire(rec.Key, "malformed-key")
+			continue
+		}
+		e, err := decodeEntry(rec.Payload)
+		if err != nil {
+			retire(rec.Key, "unparsable")
+			continue
+		}
+		if e.dedupKey() != dedup || e.Round != round {
+			retire(rec.Key, "inconsistent")
+			continue
+		}
+		prev, ok := newest[dedup]
+		switch {
+		case !ok:
+			newest[dedup] = &item{e: e, key: rec.Key, maxOffset: -1}
+		case prev.e.Round < round:
+			retire(prev.key, "superseded")
+			newest[dedup] = &item{e: e, key: rec.Key, maxOffset: -1}
+		default:
+			retire(rec.Key, "superseded")
+		}
+	}
+	for _, it := range newest {
+		o.journal(faults.KindReplay, "outbox: replaying pending envelope %s (round %d, offset %d)",
+			it.key, it.e.Round, it.e.Offset)
+		heap.Push(&o.pending, it)
+		o.loaded.Add(1)
+	}
+	return nil
+}
+
+// Start launches the redelivery loop. deliver executes one round per
+// due envelope; see DeliverFunc.
+func (o *Outbox) Start(deliver DeliverFunc) error {
+	if deliver == nil {
+		return errors.New("outbox: Start requires a DeliverFunc")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return plog.ErrClosed
+	}
+	if o.started {
+		return errors.New("outbox: already started")
+	}
+	o.started = true
+	o.deliver = deliver
+	go o.loop()
+	return nil
+}
+
+// Put durably hands one envelope to the outbox. When Put returns nil
+// the envelope is fsynced; the caller may then retire its own record
+// of the alert (ownership has transferred). A zero Due schedules the
+// first round one backoff from now. Re-putting an alert that is
+// already pending at the same round is idempotent.
+func (o *Outbox) Put(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	if e.Due.IsZero() {
+		e.Due = o.opts.Clock.Now().Add(o.backoffFor(e.Round))
+	}
+	payload, err := e.encode()
+	if err != nil {
+		return err
+	}
+	key := e.key()
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return plog.ErrClosed
+	}
+	if o.log.Has(key) && !o.log.IsProcessed(key) {
+		// Already pending (a crash-window double handoff): the scheduled
+		// copy owns it.
+		o.mu.Unlock()
+		return nil
+	}
+	if err := o.log.LogReceived(key, payload, o.opts.Clock.Now()); err != nil {
+		o.mu.Unlock()
+		return err
+	}
+	heap.Push(&o.pending, &item{e: &e, key: key, maxOffset: -1})
+	o.puts.Add(1)
+	o.mu.Unlock()
+	o.signal()
+	return nil
+}
+
+// Pending reports how many envelopes await redelivery.
+func (o *Outbox) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+// Stats snapshots the outbox counters and journal state.
+func (o *Outbox) Stats() Stats {
+	return Stats{
+		Pending:         o.Pending(),
+		Loaded:          o.loaded.Load(),
+		Puts:            o.puts.Load(),
+		Redelivered:     o.redelivered.Load(),
+		Rounds:          o.rounds.Load(),
+		Escalated:       o.escalated.Load(),
+		Dropped:         o.dropped.Load(),
+		RoundsToSuccess: o.roundsToSuccess.Snapshot(),
+		Log:             o.log.Stats(),
+	}
+}
+
+// Redelivered returns how many redelivery rounds landed.
+func (o *Outbox) Redelivered() int64 { return o.redelivered.Load() }
+
+// Escalated returns how many channel escalations occurred.
+func (o *Outbox) Escalated() int64 { return o.escalated.Load() }
+
+// Close gracefully shuts the outbox down: the loop finishes the round
+// in flight (if any), pending envelopes stay durable for the next
+// incarnation, and the journal is flushed and closed.
+func (o *Outbox) Close() error {
+	o.stopOnce.Do(func() { close(o.stop) })
+	o.mu.Lock()
+	started, closed := o.started, o.closed
+	o.closed = true
+	o.mu.Unlock()
+	if started {
+		<-o.done
+	}
+	if closed {
+		return nil
+	}
+	return o.log.Close()
+}
+
+// Kill abruptly terminates the outbox, simulating a crash: the journal
+// closes immediately and the loop is not waited for (a round in flight
+// fails to complete its mark and the envelope replays on reopen — the
+// dedup contract's documented duplicate).
+func (o *Outbox) Kill() {
+	o.stopOnce.Do(func() { close(o.stop) })
+	o.mu.Lock()
+	closed := o.closed
+	o.closed = true
+	o.mu.Unlock()
+	if !closed {
+		_ = o.log.Close()
+	}
+}
+
+// signal nudges the loop to re-examine the heap (non-blocking).
+func (o *Outbox) signal() {
+	select {
+	case o.wake <- struct{}{}:
+	default:
+	}
+}
+
+// backoffFor returns the wait before round (0-based): Backoff·2ʳ,
+// capped. Deterministic — outbox rounds are sparse enough that jitter
+// buys nothing and reproducibility under the virtual clock buys tests.
+func (o *Outbox) backoffFor(round int) time.Duration {
+	d := o.opts.Backoff
+	for i := 0; i < round && d < o.opts.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > o.opts.BackoffCap {
+		d = o.opts.BackoffCap
+	}
+	return d
+}
+
+// loop is the redelivery scheduler: sleep until the earliest due
+// envelope (or a wake from Put), then run every due round.
+func (o *Outbox) loop() {
+	defer close(o.done)
+	for {
+		o.runDue()
+		o.mu.Lock()
+		var timer clock.Timer
+		var timerC <-chan time.Time
+		if len(o.pending) > 0 {
+			d := o.pending[0].e.Due.Sub(o.opts.Clock.Now())
+			if d < 0 {
+				d = 0
+			}
+			timer = o.opts.Clock.NewTimer(d)
+			timerC = timer.C()
+		}
+		o.mu.Unlock()
+		select {
+		case <-o.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-o.wake:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-timerC:
+		}
+	}
+}
+
+// runDue executes one redelivery round for every envelope whose due
+// time has passed.
+func (o *Outbox) runDue() {
+	for {
+		select {
+		case <-o.stop:
+			return
+		default:
+		}
+		o.mu.Lock()
+		if o.closed || len(o.pending) == 0 || o.pending[0].e.Due.After(o.opts.Clock.Now()) {
+			o.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&o.pending).(*item)
+		o.mu.Unlock()
+
+		blocks, err := o.deliver(it.e)
+		if blocks > 0 {
+			it.maxOffset = blocks - 1
+		}
+		switch {
+		case err == nil:
+			o.retire(it)
+			o.redelivered.Add(1)
+			o.roundsToSuccess.Observe(int64(it.e.Round))
+		case errors.Is(err, ErrDrop):
+			o.journal(faults.KindOutbox, "outbox: dropping undeliverable envelope %s: %v", it.key, err)
+			o.retire(it)
+			o.dropped.Add(1)
+		default:
+			o.rounds.Add(1)
+			o.reschedule(it)
+		}
+	}
+}
+
+// retire marks the envelope's journal record processed. ErrClosed is
+// tolerated — a kill raced the mark, and the replay duplicate is the
+// dedup contract's case.
+func (o *Outbox) retire(it *item) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return
+	}
+	if err := o.log.MarkProcessed(it.key, o.opts.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
+		o.journal(faults.KindOutbox, "outbox: marking %s processed: %v", it.key, err)
+	}
+}
+
+// reschedule advances a failed envelope's round (escalating the block
+// offset every EscalateEvery rounds while backup blocks remain),
+// re-persists it under the round-stamped key with the previous round
+// tombstoned in the same fsync, and pushes it back on the heap.
+func (o *Outbox) reschedule(it *item) {
+	e := it.e
+	e.Round++
+	if k := o.opts.EscalateEvery; k > 0 && e.Round%k == 0 && it.maxOffset >= 0 && e.Offset < it.maxOffset {
+		e.Offset++
+		o.escalated.Add(1)
+		o.journal(faults.KindOutbox, "outbox: escalating %s to block offset %d after %d rounds",
+			e.dedupKey(), e.Offset, e.Round)
+	}
+	e.Due = o.opts.Clock.Now().Add(o.backoffFor(e.Round))
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return // the previous round's record replays next incarnation
+	}
+	payload, err := e.encode()
+	if err != nil {
+		o.journal(faults.KindOutbox, "outbox: encoding %s round %d: %v", e.dedupKey(), e.Round, err)
+		return
+	}
+	newKey := e.key()
+	if err := o.log.Replace(it.key, newKey, payload, o.opts.Clock.Now()); err != nil {
+		if !errors.Is(err, plog.ErrClosed) {
+			o.journal(faults.KindOutbox, "outbox: persisting %s round %d: %v", e.dedupKey(), e.Round, err)
+		}
+		// Keep redelivering from memory; the journal still holds the
+		// previous round, so nothing is lost across a restart.
+	} else {
+		it.key = newKey
+	}
+	heap.Push(&o.pending, it)
+}
+
+func (o *Outbox) journal(kind faults.Kind, format string, args ...any) {
+	if o.opts.Journal != nil {
+		o.opts.Journal.Recordf(o.opts.Clock.Now(), kind, format, args...)
+	}
+}

@@ -1,0 +1,308 @@
+package outbox
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/faults"
+	"simba/internal/plog"
+)
+
+func testAlert(i int) *alert.Alert {
+	return &alert.Alert{
+		ID:       fmt.Sprintf("a-%d", i),
+		Source:   "portal",
+		Keywords: []string{"Investment"},
+		Subject:  "quote update",
+		Body:     "MSFT moved",
+		Urgency:  alert.UrgencyNormal,
+		Created:  time.Unix(0, int64(1000+i)),
+	}
+}
+
+func testEntry(i int) Entry {
+	return Entry{User: fmt.Sprintf("user-%d", i), Category: "Investment", Alert: testAlert(i), Attempts: 3}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	e := testEntry(1)
+	e.Round = 4
+	e.Offset = 2
+	e.Due = time.Unix(0, 987654321)
+	payload, err := e.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeEntry(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != e.User || got.Category != e.Category ||
+		got.Attempts != e.Attempts || got.Round != e.Round || got.Offset != e.Offset ||
+		!got.Due.Equal(e.Due) {
+		t.Fatalf("decoded entry %+v != original %+v", got, e)
+	}
+	if got.Alert.DedupKey() != e.Alert.DedupKey() {
+		t.Fatalf("decoded alert key %q != %q", got.Alert.DedupKey(), e.Alert.DedupKey())
+	}
+	dedup, round, err := splitKey(e.key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup != e.dedupKey() || round != e.Round {
+		t.Fatalf("splitKey(%q) = (%q, %d)", e.key(), dedup, round)
+	}
+}
+
+func openTestOutbox(t *testing.T, dir string, opts Options) *Outbox {
+	t.Helper()
+	opts.Clock = clock.NewReal()
+	if opts.Path == "" {
+		opts.Path = filepath.Join(dir, "test.outbox")
+	}
+	o, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOutboxRedeliversUntilSuccess drives one envelope through two
+// failed rounds and a success, checking the counters and that the
+// journal record is retired.
+func TestOutboxRedeliversUntilSuccess(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir, Options{Backoff: time.Millisecond, BackoffCap: 4 * time.Millisecond})
+	var calls atomic.Int64
+	if err := o.Start(func(e *Entry) (int, error) {
+		if calls.Add(1) < 3 {
+			return 1, errors.New("still down")
+		}
+		return 1, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(testEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "redelivery", func() bool { return o.Redelivered() == 1 })
+	st := o.Stats()
+	if st.Rounds != 2 || st.Pending != 0 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 2 rounds, 0 pending, 1 put", st)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal must be clean: nothing to replay.
+	reopened := openTestOutbox(t, dir, Options{})
+	defer reopened.Close()
+	if got := reopened.Stats().Loaded; got != 0 {
+		t.Fatalf("reopen loaded %d envelopes, want 0", got)
+	}
+}
+
+// TestOutboxSurvivesRestartWithRoundState kills the outbox after
+// several failed rounds and checks the next incarnation resumes from
+// the persisted round/offset state: exactly one pending envelope (the
+// stale per-round records collapse onto the newest) carrying the
+// accumulated round count.
+func TestOutboxSurvivesRestartWithRoundState(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir, Options{Backoff: time.Millisecond, BackoffCap: time.Millisecond})
+	if err := o.Start(func(e *Entry) (int, error) { return 1, errors.New("down") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(testEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "three failed rounds", func() bool { return o.Stats().Rounds >= 3 })
+	o.Kill()
+
+	journal := &faults.Journal{}
+	o2 := openTestOutbox(t, dir, Options{Backoff: time.Millisecond, Journal: journal})
+	st := o2.Stats()
+	if st.Loaded != 1 || st.Pending != 1 {
+		t.Fatalf("reopen loaded %d / pending %d, want 1 / 1", st.Loaded, st.Pending)
+	}
+	if journal.Count(faults.KindReplay) == 0 {
+		t.Fatal("no replay journal entries for the recovered envelope")
+	}
+	var got atomic.Int64
+	if err := o2.Start(func(e *Entry) (int, error) {
+		got.Store(int64(e.Round))
+		return 1, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "redelivery after restart", func() bool { return o2.Redelivered() == 1 })
+	if got.Load() < 3 {
+		t.Fatalf("recovered envelope carried round %d, want >= 3", got.Load())
+	}
+	if err := o2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Third incarnation: everything retired, nothing stale left behind.
+	o3 := openTestOutbox(t, dir, Options{})
+	defer o3.Close()
+	if got := o3.Stats().Loaded; got != 0 {
+		t.Fatalf("final reopen loaded %d envelopes, want 0", got)
+	}
+}
+
+// TestOutboxEscalatesEveryKRounds checks the offset advances after
+// every EscalateEvery exhausted rounds and clamps at the delivery
+// plan's last block.
+func TestOutboxEscalatesEveryKRounds(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir, Options{Backoff: time.Millisecond, BackoffCap: time.Millisecond, EscalateEvery: 2})
+	defer o.Close()
+	const blocks = 3
+	type seen struct{ round, offset int }
+	var mu atomic.Pointer[[]seen]
+	mu.Store(&[]seen{})
+	if err := o.Start(func(e *Entry) (int, error) {
+		s := append(*mu.Load(), seen{e.Round, e.Offset})
+		mu.Store(&s)
+		return blocks, errors.New("down")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(testEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "eight failed rounds", func() bool { return o.Stats().Rounds >= 8 })
+	o.Kill()
+	if got := o.Escalated(); got != blocks-1 {
+		t.Fatalf("escalated %d times, want %d (then clamped)", got, blocks-1)
+	}
+	for _, s := range *mu.Load() {
+		want := s.round / 2 // offset advances every 2 rounds...
+		if want > blocks-1 {
+			want = blocks - 1 // ...until the last block
+		}
+		if s.offset != want {
+			t.Fatalf("round %d ran at offset %d, want %d", s.round, s.offset, want)
+		}
+	}
+}
+
+// TestOutboxDropsUndeliverable checks ErrDrop retires the envelope as
+// lost instead of retrying forever.
+func TestOutboxDropsUndeliverable(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir, Options{Backoff: time.Millisecond})
+	if err := o.Start(func(e *Entry) (int, error) {
+		return 0, fmt.Errorf("tenant gone: %w", ErrDrop)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(testEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drop", func() bool { return o.Stats().Dropped == 1 })
+	st := o.Stats()
+	if st.Pending != 0 || st.Redelivered != 0 {
+		t.Fatalf("stats after drop = %+v, want nothing pending or redelivered", st)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := openTestOutbox(t, dir, Options{})
+	defer reopened.Close()
+	if got := reopened.Stats().Loaded; got != 0 {
+		t.Fatalf("dropped envelope resurrected: loaded %d", got)
+	}
+}
+
+// TestOutboxPutIsIdempotent re-puts an envelope already pending at the
+// same round; the scheduled copy owns it.
+func TestOutboxPutIsIdempotent(t *testing.T) {
+	o := openTestOutbox(t, t.TempDir(), Options{Backoff: time.Hour})
+	defer o.Kill()
+	e := testEntry(0)
+	if err := o.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Pending(); got != 1 {
+		t.Fatalf("pending = %d after double put, want 1", got)
+	}
+	if got := o.Stats().Puts; got != 1 {
+		t.Fatalf("puts = %d, want 1", got)
+	}
+}
+
+// TestOutboxRejectsInvalidEntries checks validation failures surface
+// on Put instead of poisoning the journal.
+func TestOutboxRejectsInvalidEntries(t *testing.T) {
+	o := openTestOutbox(t, t.TempDir(), Options{})
+	defer o.Kill()
+	bad := []Entry{
+		{},
+		{User: "u" + keySep + "v", Category: "c", Alert: testAlert(0)},
+		{User: "u", Category: "c\nd", Alert: testAlert(0)},
+		{User: "u", Category: "c", Alert: testAlert(0), Round: -1},
+	}
+	for i, e := range bad {
+		if err := o.Put(e); err == nil {
+			t.Errorf("Put(bad[%d]) accepted invalid entry %+v", i, e)
+		}
+	}
+	if got := o.Pending(); got != 0 {
+		t.Fatalf("pending = %d after invalid puts, want 0", got)
+	}
+}
+
+// TestOutboxTombstonesGarbageRecords seeds the journal with records no
+// decoder can love and checks reopen tombstones them instead of
+// replaying or crashing.
+func TestOutboxTombstonesGarbageRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.outbox")
+	l, err := plog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := l.LogReceived("no-separator", []byte("junk"), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogReceived("user"+keySep+"x|y|1"+keySep+"0", []byte("not an envelope"), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	o := openTestOutbox(t, dir, Options{Path: path})
+	if st := o.Stats(); st.Loaded != 0 || st.Pending != 0 {
+		t.Fatalf("garbage records replayed: %+v", st)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := openTestOutbox(t, dir, Options{Path: path})
+	defer reopened.Close()
+	if got := len(reopened.log.Unprocessed()); got != 0 {
+		t.Fatalf("garbage records not tombstoned: %d unprocessed", got)
+	}
+}

@@ -303,6 +303,57 @@ func (l *Log) LogReceived(key string, payload []byte, at time.Time) error {
 	return nil
 }
 
+// Replace atomically supersedes oldKey with a fresh record under
+// newKey: one fsynced append carrying RECV(newKey) followed by
+// DONE(oldKey), so a crash can never lose both generations — a torn
+// tail drops at most the DONE, leaving old and new records visible for
+// the caller's replay collapse to reconcile (newKey is written first
+// for exactly that reason). A missing or already-processed oldKey is
+// tolerated (the supersede is then a plain LogReceived); a newKey that
+// already exists is idempotent, and oldKey is still retired. This is
+// the retry outbox's round-update primitive: each redelivery round
+// re-persists the envelope under a round-stamped key and tombstones
+// the previous round in the same fsync.
+func (l *Log) Replace(oldKey, newKey string, payload []byte, at time.Time) error {
+	if newKey == "" {
+		return errors.New("plog: empty key")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var records int64
+	buf := l.encBuf[:0]
+	_, newExists := l.index[newKey]
+	if !newExists {
+		buf = appendRecv(buf, at.UnixNano(), newKey, payload)
+		records++
+	}
+	oldIdx, oldOK := l.index[oldKey]
+	retireOld := oldOK && oldKey != newKey && !l.order[oldIdx].Processed
+	if retireOld {
+		buf = appendDone(buf, at.UnixNano(), oldKey)
+		records++
+	}
+	l.encBuf = buf
+	if records == 0 {
+		return nil
+	}
+	if err := l.appendLocked(buf, records); err != nil {
+		return err
+	}
+	if !newExists {
+		l.addReceivedLocked(newKey, append([]byte(nil), payload...), at)
+	}
+	if retireOld {
+		// addReceivedLocked may have grown l.order; re-resolve the index.
+		l.markProcessedLocked(l.index[oldKey])
+		l.maybeSweepLocked()
+	}
+	return nil
+}
+
 // MarkProcessed durably records that the alert has been fully routed.
 func (l *Log) MarkProcessed(key string, at time.Time) error {
 	l.mu.Lock()
