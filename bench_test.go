@@ -394,6 +394,18 @@ func BenchmarkHubThroughput(b *testing.B) {
 // reach ≥2× the one-at-a-time BenchmarkHubThroughput figure at equal
 // shard count; see BENCH_hub.json for recorded runs.
 func BenchmarkHubBatchIngest(b *testing.B) {
+	for _, lanes := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("lanes-%d", lanes), func(b *testing.B) {
+			benchHubBatchIngest(b, lanes)
+		})
+	}
+}
+
+// benchHubBatchIngest runs the batched portal workload against an
+// 8-shard hub whose WAL is partitioned into the given number of lanes
+// (shard i stages on lane i%lanes), so the sweep isolates what
+// parallel group commit buys at equal shard count.
+func benchHubBatchIngest(b *testing.B, lanes int) {
 	const users, alerts, submitters, burstSize = 1000, 20000, 128, 64
 	clk := clock.NewReal()
 	for i := 0; i < b.N; i++ {
@@ -404,6 +416,7 @@ func BenchmarkHubBatchIngest(b *testing.B) {
 			Clock: clk, Sink: sink,
 			WALPath: b.TempDir() + "/hub.wal",
 			Shards:  8, QueueDepth: 512,
+			WALLanes:     lanes,
 			CommitWindow: 2 * time.Millisecond,
 			RNG:          rng,
 		})

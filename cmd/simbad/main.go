@@ -16,7 +16,7 @@
 //
 //	simbad [-hours N] [-pprof ADDR]
 //	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
-//	       [-wal-segment-bytes B] [-wal-checkpoint-every R]
+//	       [-wal-lanes L] [-wal-segment-bytes B] [-wal-checkpoint-every R]
 //	       [-mode-frac F] [-ack-timeout D] [-im-ack-p P]
 //	       [-guaranteed-frac F] [-outbox-dir DIR] [-outbox-backoff D]
 //	       [-burst B] [-route-batch R] [-pprof ADDR]
@@ -24,7 +24,10 @@
 // With -burst > 1 the portal workload is offered through
 // Hub.SubmitBatch in bursts of that size (amortizing the group-commit
 // durability wait across each burst); -route-batch caps how many
-// queued alerts a shard loop routes per wakeup. -pprof serves
+// queued alerts a shard loop routes per wakeup. -wal-lanes partitions
+// the ingest WAL into that many independent group-commit lanes (0 =
+// one per shard) so shards fsync in parallel; the run report breaks
+// fsync counts and latency down per lane. -pprof serves
 // net/http/pprof on the given address (e.g. localhost:6060) for
 // profiling either mode while it runs.
 //
@@ -80,6 +83,7 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "hub: group-commit window")
 	deliveryWindow := flag.Int("delivery-window", 0, "hub: in-flight deliveries per shard (0 = default, 1 = synchronous)")
 	seed := flag.Int64("seed", 1, "hub: RNG seed")
+	walLanes := flag.Int("wal-lanes", 0, "hub: independent WAL lanes, each with its own group commit and fsync pipeline (0 = one per shard)")
 	walSegBytes := flag.Int64("wal-segment-bytes", 0, "hub: WAL segment size before rotation (0 = 4MiB default)")
 	walCkptEvery := flag.Int64("wal-checkpoint-every", 0, "hub: WAL records between checkpoints (0 = default, <0 disables compaction)")
 	modeFrac := flag.Float64("mode-frac", 0.1, "hub: fraction of tenants with a personalized IM-then-email delivery mode")
@@ -104,7 +108,7 @@ func main() {
 		if err := runHub(hubParams{
 			users: *users, shards: *shards, alerts: *alerts,
 			window: *window, deliveryWindow: *deliveryWindow, seed: *seed,
-			walSegBytes: *walSegBytes, walCkptEvery: *walCkptEvery,
+			walLanes: *walLanes, walSegBytes: *walSegBytes, walCkptEvery: *walCkptEvery,
 			modeFrac: *modeFrac, ackTimeout: *ackTimeout, imAckP: *imAckP,
 			burst: *burst, routeBatch: *routeBatch,
 			guaranteedFrac: *guaranteedFrac, outboxDir: *outboxDir, outboxBackoff: *outboxBackoff,
@@ -235,6 +239,7 @@ type hubParams struct {
 	window                    time.Duration
 	deliveryWindow            int
 	seed                      int64
+	walLanes                  int
 	walSegBytes, walCkptEvery int64
 	modeFrac                  float64
 	ackTimeout                time.Duration
@@ -320,6 +325,7 @@ func runHub(p hubParams) error {
 		CommitWindow:       p.window,
 		DeliveryWindow:     p.deliveryWindow,
 		RNG:                rng,
+		WALLanes:           p.walLanes,
 		WALSegmentBytes:    p.walSegBytes,
 		WALCheckpointEvery: p.walCkptEvery,
 		RouteBatch:         p.routeBatch,
@@ -459,6 +465,17 @@ func runHub(p hubParams) error {
 	fmt.Printf("fsync latency (µs): %s\n", h.WALFsyncLatency())
 	fmt.Printf("commit batch sizes (records): %s\n", h.WALBatchSizes())
 	fmt.Printf("staged ingest batch sizes (alerts): %s\n", w.StagedBatches)
+	fmt.Printf("WAL lanes: %d\n", h.WALLanes())
+	fmt.Printf("  %-4s %9s %8s %10s %10s\n", "lane", "records", "fsyncs", "rec/fsync", "disk(MB)")
+	for i, ls := range st.WALPerLane {
+		perFsync := 0.0
+		if ls.Syncs > 0 {
+			perFsync = float64(ls.Total) / float64(ls.Syncs)
+		}
+		fmt.Printf("  %-4d %9d %8d %10.1f %10.2f\n",
+			i, ls.Total, ls.Syncs, perFsync, float64(ls.DiskBytes)/(1<<20))
+		fmt.Printf("       fsync latency (µs): %s\n", ls.FsyncLatency)
+	}
 	lat := h.Latency().Summarize()
 	fmt.Printf("end-to-end latency: mean %v, p50 %v, p99 %v (n=%d)\n",
 		lat.Mean.Round(time.Microsecond), lat.P50.Round(time.Microsecond),

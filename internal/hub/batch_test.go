@@ -128,7 +128,9 @@ func TestHubSubmitBatchMatchesSubmit(t *testing.T) {
 			user := fmt.Sprintf("user-%d", u)
 			r.sequences[user] = sink.sequence(user)
 		}
-		l, err := plog.Open(walPath)
+		// OpenLanes discovers every lane the 4-shard hub wrote, not just
+		// the base (lane 0) journal.
+		l, err := plog.OpenLanes(walPath, 1, plog.GroupOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,7 +282,7 @@ func TestHubCrashBetweenBatchFsyncAndEnqueue(t *testing.T) {
 			}
 		}
 	}
-	l, err := plog.Open(walPath)
+	l, err := plog.OpenLanes(walPath, 1, plog.GroupOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -224,7 +224,7 @@ func (d *deliveryStage) perform(job deliveryJob) {
 		return // killed after delivery: the duplicate on replay is the dedup contract's case
 	default:
 	}
-	if err := h.wal.MarkProcessedAsync(job.env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
+	if err := h.wal.Lane(job.env.lane).MarkProcessedAsync(job.env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
 		h.ctr.markFailed.Add1()
 	}
 	h.latency.Observe(h.cfg.Clock.Since(job.env.at))

@@ -18,14 +18,19 @@
 //     with capped, jittered retry backoff. Alerts for the same user are
 //     chained (per-user FIFO), alerts for different users overlap, so a
 //     slow delivery stalls one tenant's chain instead of the shard.
-//   - All shards append to one shared group-commit WAL
-//     (plog.GroupLog): RECV and DONE records from every tenant are
-//     batched into a single fsync per commit window instead of one per
-//     alert, preserving log-before-ack while cutting fsyncs by orders
-//     of magnitude.
-//   - On restart the WAL is scanned and every user's unprocessed
-//     alerts are replayed through their rebuilt buddy before the hub
-//     accepts new traffic.
+//   - Durability is partitioned into per-shard WAL lanes
+//     (plog.LaneSet): each lane is an independent group-commit journal
+//     with its own committer and fsync pipeline, so shards stage and
+//     sync in parallel instead of serializing on one log, while RECV
+//     and DONE records within a lane still batch into one fsync per
+//     commit window — log-before-ack preserved, fsyncs cut by orders
+//     of magnitude. Config.WALLanes tunes the partition width (default
+//     one lane per shard).
+//   - On restart all lanes are recovered concurrently and the merged
+//     unprocessed set (ordered by received-at timestamp — per-user
+//     order is exact because a user's shard, hence lane, is stable) is
+//     replayed through the rebuilt buddies before the hub accepts new
+//     traffic.
 //   - Per-shard queue depths, admission rejects, commit-batch sizes,
 //     and end-to-end routing latency are exposed via internal/metrics;
 //     Drain stops intake, lets the shards finish their queues, and
@@ -168,8 +173,17 @@ type Config struct {
 	// (block fallback trace) and the attempt's error, nil on success.
 	// Must be safe for concurrent calls.
 	OnDelivery func(user string, rep *core.Report, err error)
-	// WALPath is the shared group-commit journal; required.
+	// WALPath is the journal base path; required. Lane 0 lives at this
+	// path (so a 1-lane hub's journal is identical to the historical
+	// single-WAL layout) and lane i at "<WALPath>.lane<NN>".
 	WALPath string
+	// WALLanes is the number of independent WAL lanes durability is
+	// partitioned across; each shard appends to lane shard%WALLanes, so
+	// lanes stage and fsync in parallel. Zero means one lane per shard;
+	// values above Shards are clamped (extra lanes would never be
+	// routed to). Lanes left by a previous run with a higher count are
+	// still recovered and replayed.
+	WALLanes int
 	// Shards is the shard-table size; zero means DefaultShards.
 	Shards int
 	// QueueDepth bounds each shard's inbound queue; zero means
@@ -414,11 +428,11 @@ func (b *Buddy) Routed() int64 { return b.routed.Load() }
 // Delivered returns how many alerts the sink accepted for the tenant.
 func (b *Buddy) Delivered() int64 { return b.delivered.Load() }
 
-// Hub hosts N per-user buddies across K shards over one group-commit
-// WAL. It is safe for concurrent use.
+// Hub hosts N per-user buddies across K shards over per-shard
+// group-commit WAL lanes. It is safe for concurrent use.
 type Hub struct {
 	cfg    Config
-	wal    *plog.GroupLog
+	wal    *plog.LaneSet
 	shards []*shard
 	// outbox is the guaranteed-tier retry outbox; nil when
 	// Config.OutboxPath is empty.
@@ -523,7 +537,10 @@ func New(cfg Config) (*Hub, error) {
 	case cfg.WALCheckpointEvery < 0:
 		cfg.WALCheckpointEvery = 0 // disable background compaction
 	}
-	wal, err := plog.OpenGroup(cfg.WALPath, plog.GroupOptions{
+	if cfg.WALLanes <= 0 || cfg.WALLanes > cfg.Shards {
+		cfg.WALLanes = cfg.Shards
+	}
+	wal, err := plog.OpenLanes(cfg.WALPath, cfg.WALLanes, plog.GroupOptions{
 		Window:   cfg.CommitWindow,
 		MaxBatch: cfg.CommitMaxBatch,
 		Log: plog.Options{
@@ -718,6 +735,12 @@ func (h *Hub) shardOf(user string) *shard {
 	return h.shards[int(f.Sum32())%len(h.shards)]
 }
 
+// laneFor maps a shard onto its WAL lane. The mapping is pure
+// arithmetic on stable inputs, so a user's records always land in the
+// same lane while the lane count is unchanged — the invariant that
+// makes merged lane replay order-exact per user.
+func (h *Hub) laneFor(shardID int) int { return shardID % h.cfg.WALLanes }
+
 // Start launches the shard loops, starts the outbox redelivery loop
 // over the envelopes it recovered, replays every user's unprocessed
 // WAL entries through their rebuilt buddies, and only then opens
@@ -788,29 +811,33 @@ func (h *Hub) redeliver(e *outbox.Entry) (int, error) {
 	return blocks, err
 }
 
-// replay re-enqueues the WAL's unprocessed entries, per user, in
-// arrival order. Runs before admission opens, so replayed alerts are
-// routed ahead of new traffic.
+// replay re-enqueues the WAL lanes' unprocessed entries, merged by
+// received-at timestamp (exact per-user order — a user's lane is
+// stable). Runs before admission opens, so replayed alerts are routed
+// ahead of new traffic. Each envelope remembers the lane that owns its
+// record — possibly a stale lane beyond the configured count — so its
+// eventual DONE retires the right journal.
 func (h *Hub) replay() {
 	for _, rec := range h.wal.Unprocessed() {
+		lane := h.wal.Lane(rec.Lane)
 		user, _, ok := strings.Cut(rec.Key, keySep)
 		if !ok {
 			h.journal(faults.KindReplay, "tombstoning WAL entry with malformed key %q", rec.Key)
-			_ = h.wal.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			_ = lane.MarkProcessed(rec.Key, h.cfg.Clock.Now())
 			h.counters.Add1("tombstoned")
 			continue
 		}
 		b, hosted := h.buddy(user)
 		if !hosted {
 			h.journal(faults.KindReplay, "tombstoning WAL entry for unhosted user %q", user)
-			_ = h.wal.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			_ = lane.MarkProcessed(rec.Key, h.cfg.Clock.Now())
 			h.counters.Add1("tombstoned")
 			continue
 		}
 		var a alert.Alert
 		if err := a.UnmarshalText(rec.Payload); err != nil {
 			h.journal(faults.KindReplay, "tombstoning unparsable WAL entry %q: %v", rec.Key, err)
-			_ = h.wal.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			_ = lane.MarkProcessed(rec.Key, h.cfg.Clock.Now())
 			h.counters.Add1("tombstoned")
 			continue
 		}
@@ -818,7 +845,7 @@ func (h *Hub) replay() {
 		h.counters.Add1("replayed")
 		sh := h.shardOf(user)
 		sh.reserveBlocking() // startup: loops are draining, so this cannot wedge
-		sh.enqueue(envelope{buddy: b, alert: &a, key: rec.Key, at: h.cfg.Clock.Now()})
+		sh.enqueue(envelope{buddy: b, alert: &a, key: rec.Key, lane: rec.Lane, at: h.cfg.Clock.Now()})
 	}
 }
 
@@ -846,6 +873,7 @@ type submitPending struct {
 	sh    *shard
 	a     *alert.Alert
 	key   string
+	lane  int
 	dup   bool // already durable (or duplicated within the burst): re-ack only
 }
 
@@ -896,21 +924,27 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			continue
 		}
 		key := s.User + keySep + s.Alert.DedupKey()
+		sh := h.shardOf(s.User)
+		lane := h.laneFor(sh.id)
 		inBurst := false
 		if seen != nil {
 			_, inBurst = seen[key]
 		}
-		if inBurst || h.wal.Has(key) {
-			pending = append(pending, submitPending{idx: i, buddy: b, key: key, dup: true})
+		// Dedup checks only the user's home lane: that is where a stable
+		// shard→lane mapping always put (and will put) the key. A record
+		// stranded in a foreign lane by a lane-count change re-logs
+		// fresh here and replays as a duplicate delivery, which the
+		// downstream timestamp dedup discards.
+		if inBurst || h.wal.Lane(lane).Has(key) {
+			pending = append(pending, submitPending{idx: i, buddy: b, key: key, lane: lane, dup: true})
 			continue
 		}
 		if seen == nil {
 			seen = make(map[string]struct{}, len(subs))
 		}
 		seen[key] = struct{}{}
-		sh := h.shardOf(s.User)
 		counts[sh.id]++
-		pending = append(pending, submitPending{idx: i, buddy: b, sh: sh, a: s.Alert, key: key})
+		pending = append(pending, submitPending{idx: i, buddy: b, sh: sh, a: s.Alert, key: key, lane: lane})
 	}
 	if len(pending) == 0 {
 		return errs
@@ -928,13 +962,13 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 		}
 	}
 	// Pass 3: marshal the admitted entries and stage the burst's RECV
-	// records (duplicates ride along as idempotent no-ops so their
-	// re-ack waits for the original's durability).
-	entries := make([]plog.BatchEntry, 0, len(pending))
-	admitted := pending[:0] // in-place filter: pending entries that joined the batch
+	// records, split by WAL lane (duplicates ride along as idempotent
+	// no-ops so their re-ack waits for the original's durability).
+	byLane := make([][]plog.BatchEntry, h.cfg.WALLanes)
+	admitted := pending[:0] // in-place filter: pending entries that joined a batch
 	for _, p := range pending {
 		if p.dup {
-			entries = append(entries, plog.BatchEntry{Key: p.key, At: now})
+			byLane[p.lane] = append(byLane[p.lane], plog.BatchEntry{Key: p.key, At: now})
 			admitted = append(admitted, p)
 			continue
 		}
@@ -956,21 +990,45 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			errs[p.idx] = err
 			continue
 		}
-		entries = append(entries, plog.BatchEntry{Key: p.key, Payload: payload, At: now})
+		byLane[p.lane] = append(byLane[p.lane], plog.BatchEntry{Key: p.key, Payload: payload, At: now})
 		admitted = append(admitted, p)
 	}
 	if len(admitted) == 0 {
 		return errs
 	}
 
-	// Pessimistic group-commit logging: one durability wait for the
-	// whole burst. Only after the batch is fsynced do we acknowledge.
-	if err := h.wal.LogReceivedBatch(entries); err != nil {
+	// Pessimistic logging with parallel group commit: stage every
+	// lane's slice of the burst first (each join signals that lane's
+	// committer), then wait — the lanes' fsyncs overlap instead of
+	// queueing behind one journal. Only after every lane's batch is
+	// durable do we acknowledge. On any lane failure the whole burst is
+	// NACKed: entries fsynced by the other lanes stay durable and
+	// replay on the next restart, where the dedup contract absorbs
+	// them; a sender retry meanwhile re-acks them as duplicates.
+	var commits [](plog.Commit)
+	var logErr error
+	for lane, entries := range byLane {
+		if len(entries) == 0 {
+			continue
+		}
+		c, err := h.wal.Lane(lane).LogReceivedBatchStart(entries)
+		if err != nil {
+			logErr = err
+			break
+		}
+		commits = append(commits, c)
+	}
+	for _, c := range commits {
+		if err := c.Wait(); err != nil && logErr == nil {
+			logErr = err
+		}
+	}
+	if logErr != nil {
 		for i := range admitted {
 			if !admitted[i].dup {
 				admitted[i].sh.release()
 			}
-			errs[admitted[i].idx] = err
+			errs[admitted[i].idx] = logErr
 		}
 		return errs
 	}
@@ -998,7 +1056,7 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			continue
 		}
 		h.ctr.received.Add1()
-		p.sh.enqueue(envelope{buddy: p.buddy, alert: p.a.Clone(), key: p.key, at: acked})
+		p.sh.enqueue(envelope{buddy: p.buddy, alert: p.a.Clone(), key: p.key, lane: p.lane, at: acked})
 	}
 	return errs
 }
@@ -1108,7 +1166,31 @@ func (h *Hub) processBatch(sh *shard, envs []envelope, scr *routeScratch) {
 // replay, which the dedup contract covers; Drain/Close still flush
 // every staged record.
 func (h *Hub) finishBatch(sh *shard, envs []envelope, keys []string) {
-	markErrs := h.wal.MarkProcessedBatchAsync(keys, h.cfg.Clock.Now())
+	now := h.cfg.Clock.Now()
+	// A shard's fresh traffic all lives in one lane, so the common case
+	// stages the whole batch there in one call; mixed lanes appear only
+	// right after a restart, when replayed foreign-lane records share
+	// the queue with new traffic.
+	lane, uniform := envs[0].lane, true
+	for i := 1; i < len(envs); i++ {
+		if envs[i].lane != lane {
+			uniform = false
+			break
+		}
+	}
+	var markErrs []error
+	if uniform {
+		markErrs = h.wal.Lane(lane).MarkProcessedBatchAsync(keys, now)
+	} else {
+		for i, env := range envs {
+			if err := h.wal.Lane(env.lane).MarkProcessedAsync(keys[i], now); err != nil {
+				if markErrs == nil {
+					markErrs = make([]error, len(envs))
+				}
+				markErrs[i] = err
+			}
+		}
+	}
 	done := h.cfg.Clock.Now()
 	for i, env := range envs {
 		if markErrs != nil && markErrs[i] != nil && !errors.Is(markErrs[i], plog.ErrClosed) {
@@ -1269,19 +1351,26 @@ type Stats struct {
 	// Outbox is the retry outbox's snapshot; nil when the hub runs
 	// without one.
 	Outbox *outbox.Stats
-	// WAL is the journal's segmentation/compaction snapshot: live
-	// segments, checkpoints written, compacted bytes, retired records.
+	// WAL is the aggregated journal snapshot across every lane:
+	// counters (fsyncs, staged batches, corrupt records, disk bytes)
+	// summed, histograms merged.
 	WAL plog.Stats
+	// WALPerLane is each lane's own snapshot, index-aligned with the
+	// lane numbering (lane 0 is the base journal path). Each entry
+	// carries its lane's Syncs and FsyncLatency, so per-lane fsync
+	// behavior — one slow disk region, one hot shard — is visible.
+	WALPerLane []plog.Stats
 }
 
 // Stats snapshots queue depths, delivery in-flight gauges, and WAL
 // commit statistics.
 func (h *Hub) Stats() Stats {
 	s := Stats{
-		Users:   h.Users(),
-		Appends: h.wal.Appended(),
-		Syncs:   h.wal.Syncs(),
-		WAL:     h.wal.Stats(),
+		Users:      h.Users(),
+		Appends:    h.wal.Appended(),
+		Syncs:      h.wal.Syncs(),
+		WAL:        h.wal.Stats(),
+		WALPerLane: h.wal.PerLaneStats(),
 	}
 	for _, t := range []addr.Type{addr.TypeIM, addr.TypeSMS, addr.TypeEmail, addr.TypeSink} {
 		if n := h.counters.Get(deliveredViaCounter(t)); n > 0 {
@@ -1322,22 +1411,27 @@ func (h *Hub) Stats() Stats {
 	return s
 }
 
-// WALSyncs returns the number of fsyncs the shared WAL has issued.
+// WALSyncs returns the number of fsyncs issued across all WAL lanes.
 func (h *Hub) WALSyncs() int64 { return h.wal.Syncs() }
 
-// WALAppends returns the number of records staged into the shared WAL.
+// WALAppends returns the number of records staged across all WAL lanes.
 func (h *Hub) WALAppends() int64 { return h.wal.Appended() }
 
-// WALFsyncLatency returns the WAL's fsync-latency histogram
-// (microseconds per fsync).
+// WALLanes returns the number of open WAL lanes (the configured count,
+// plus any stale lanes recovered from a previous run).
+func (h *Hub) WALLanes() int { return h.wal.Lanes() }
+
+// WALFsyncLatency returns the fsync-latency histogram (microseconds
+// per fsync) merged across lanes.
 func (h *Hub) WALFsyncLatency() metrics.HistogramSnapshot { return h.wal.FsyncLatency() }
 
 // WALBatchSizes returns the group-commit batch-size histogram (journal
-// lines per fsync).
+// records per fsync) merged across lanes.
 func (h *Hub) WALBatchSizes() metrics.HistogramSnapshot { return h.wal.BatchSizes() }
 
-// CheckpointWAL forces a WAL checkpoint + segment compaction, as the
-// background compactor would at the WALCheckpointEvery threshold.
+// CheckpointWAL forces a checkpoint + segment compaction on every WAL
+// lane, as the background compactors would at the WALCheckpointEvery
+// threshold.
 func (h *Hub) CheckpointWAL() error { return h.wal.Checkpoint() }
 
 func (h *Hub) journal(kind faults.Kind, format string, args ...any) {

@@ -14,6 +14,7 @@ type envelope struct {
 	buddy *Buddy
 	alert *alert.Alert
 	key   string
+	lane  int       // WAL lane owning the RECV record (its DONE goes there too)
 	at    time.Time // admission time, for end-to-end latency
 }
 

@@ -308,6 +308,42 @@ func (s HistogramSnapshot) String() string {
 	return b.String()
 }
 
+// Merge combines two snapshots into one, as if every observation from
+// both had landed in a single histogram: counts and sums add, buckets
+// with equal bounds coalesce, and min/max take the extremes. Used to
+// aggregate per-lane WAL histograms into one hub-wide view.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	m := HistogramSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum, Min: s.Min, Max: s.Max}
+	if o.Min < m.Min {
+		m.Min = o.Min
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < o.Buckets[j].Le):
+			m.Buckets = append(m.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Le < s.Buckets[i].Le:
+			m.Buckets = append(m.Buckets, o.Buckets[j])
+			j++
+		default:
+			m.Buckets = append(m.Buckets, HistogramBucket{Le: s.Buckets[i].Le, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	return m
+}
+
 // counterStripes is the number of independent cells per Counter. Must
 // be a power of two. Eight cells keep a heavily shared counter (every
 // hub submitter bumps "received") off a single contended cache line

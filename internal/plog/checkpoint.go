@@ -3,7 +3,9 @@ package plog
 import (
 	"bufio"
 	"encoding/base64"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
@@ -11,13 +13,18 @@ import (
 	"time"
 )
 
-// Checkpoint format (line-oriented, like the journal):
+// Checkpoint format (version 2):
 //
-//	CKPT 1 <gen> <watermark> <count> <total> <unix-nanos>
-//	RECV <unix-nanos> <key-base64> <payload-base64>   × count
+//	CKPT 2 <gen> <watermark> <count> <total> <unix-nanos>
+//	<binary RECV frame>   × count      (see binary.go for the layout)
 //	END <count>
 //
-// The header names the format version (1), the checkpoint generation,
+// Version 1 checkpoints carried text records instead
+// ("RECV <unix-nanos> <key-base64> <payload-base64>" lines); they are
+// still readable, so a journal checkpointed by an earlier version
+// recovers cleanly and re-checkpoints as version 2.
+//
+// The header names the format version, the checkpoint generation,
 // the watermark (every segment with sequence <= watermark is fully
 // captured), the number of unprocessed records that follow, and the
 // all-time logged-alert total (so Len survives compaction). The END
@@ -87,7 +94,7 @@ func (l *Log) Checkpoint() error {
 	// at or below activeSeq-1 is immutable and captured by the
 	// snapshot; appends racing the checkpoint land past the watermark
 	// and replay on recovery.
-	if l.activeSize > 0 {
+	if l.activeSize > segHeaderSize {
 		if err := l.rotateLocked(); err != nil {
 			l.mu.Unlock()
 			return err
@@ -151,7 +158,7 @@ func (l *Log) writeCheckpoint(hdr ckptHeader, recs []Record) error {
 		return fmt.Errorf("plog: creating checkpoint temp %s: %w", tmp, err)
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
-	fmt.Fprintf(w, "CKPT 1 %d %d %d %d %d\n", hdr.gen, hdr.watermark, hdr.count, hdr.total, time.Now().UnixNano())
+	fmt.Fprintf(w, "CKPT 2 %d %d %d %d %d\n", hdr.gen, hdr.watermark, hdr.count, hdr.total, time.Now().UnixNano())
 	var buf []byte
 	for _, r := range recs {
 		buf = appendRecv(buf[:0], r.ReceivedAt.UnixNano(), r.Key, r.Payload)
@@ -202,7 +209,7 @@ func (l *Log) loadCheckpoint(path string) (ckptHeader, []Record, error) {
 	}
 	var version int
 	if n, err := fmt.Sscanf(strings.TrimSuffix(line, "\n"), "CKPT %d %d %d %d %d",
-		&version, &hdr.gen, &hdr.watermark, &hdr.count, &hdr.total); n != 5 || err != nil || version != 1 {
+		&version, &hdr.gen, &hdr.watermark, &hdr.count, &hdr.total); n != 5 || err != nil || (version != 1 && version != 2) {
 		return hdr, nil, fmt.Errorf("plog: checkpoint %s: bad header %q", path, line)
 	}
 	if hdr.count < 0 || hdr.total < hdr.count {
@@ -210,11 +217,16 @@ func (l *Log) loadCheckpoint(path string) (ckptHeader, []Record, error) {
 	}
 	recs := make([]Record, 0, hdr.count)
 	for i := int64(0); i < hdr.count; i++ {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return hdr, nil, fmt.Errorf("plog: checkpoint %s: truncated at record %d", path, i)
+		var rec Record
+		if version >= 2 {
+			rec, err = readCheckpointFrame(r)
+		} else {
+			line, lerr := r.ReadString('\n')
+			if lerr != nil {
+				return hdr, nil, fmt.Errorf("plog: checkpoint %s: truncated at record %d", path, i)
+			}
+			rec, err = parseCheckpointRecord(strings.TrimSuffix(line, "\n"))
 		}
-		rec, err := parseCheckpointRecord(strings.TrimSuffix(line, "\n"))
 		if err != nil {
 			return hdr, nil, fmt.Errorf("plog: checkpoint %s record %d: %w", path, i, err)
 		}
@@ -234,9 +246,46 @@ func (l *Log) loadCheckpoint(path string) (ckptHeader, []Record, error) {
 	return hdr, recs, nil
 }
 
+// readCheckpointFrame reads one binary RECV frame from a version-2
+// checkpoint body strictly: any malformation — short read, bad length,
+// CRC mismatch, non-RECV type — invalidates the whole file (unlike
+// journal replay, which tolerates a torn tail), because checkpoints are
+// written atomically.
+func readCheckpointFrame(r *bufio.Reader) (Record, error) {
+	var rec Record
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return rec, fmt.Errorf("truncated frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < frameOverhead || n > frameMaxLen {
+		return rec, fmt.Errorf("bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return rec, fmt.Errorf("truncated frame: %w", err)
+	}
+	body := buf[:n-4]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(buf[n-4:]) {
+		return rec, fmt.Errorf("frame checksum mismatch")
+	}
+	if body[0] != frameRecv {
+		return rec, fmt.Errorf("unexpected frame type %q", body[0])
+	}
+	klen := int(binary.LittleEndian.Uint32(body[9:13]))
+	if 13+klen > len(body) {
+		return rec, fmt.Errorf("inconsistent key length")
+	}
+	rec.Key = string(body[13 : 13+klen])
+	rec.Payload = append([]byte(nil), body[13+klen:]...)
+	rec.ReceivedAt = time.Unix(0, int64(binary.LittleEndian.Uint64(body[1:9]))).UTC()
+	return rec, nil
+}
+
 // parseCheckpointRecord parses one "RECV <nanos> <key> <payload>"
-// checkpoint line strictly (checkpoints are written atomically, so
-// unlike journal replay, any malformation invalidates the whole file).
+// version-1 checkpoint line strictly (checkpoints are written
+// atomically, so unlike journal replay, any malformation invalidates
+// the whole file).
 func parseCheckpointRecord(line string) (Record, error) {
 	var rec Record
 	rest, ok := strings.CutPrefix(line, "RECV ")

@@ -128,29 +128,62 @@ func (g *GroupLog) MarkProcessed(key string, at time.Time) error {
 // GroupOptions.MaxBatch (the cap then closes the batch to later
 // appends); a batch still never spans a segment rotation.
 func (g *GroupLog) LogReceivedBatch(entries []BatchEntry) error {
-	if len(entries) == 0 {
+	c, err := g.LogReceivedBatchStart(entries)
+	if err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// Commit is a pending durability ticket from LogReceivedBatchStart:
+// the burst is staged into a group-commit batch, and Wait blocks until
+// that batch's fsync completes. The zero Commit waits for nothing
+// (returned when the burst staged no fresh records and no batch was
+// pending).
+type Commit struct{ b *groupBatch }
+
+// Wait blocks until the staged records are durable, reporting the
+// batch's write error (sticky failures poison the log for later
+// appends).
+func (c Commit) Wait() error {
+	if c.b == nil {
 		return nil
+	}
+	<-c.b.done
+	return c.b.err
+}
+
+// LogReceivedBatchStart is the staging half of LogReceivedBatch: it
+// stages the burst and returns a Commit to wait on instead of blocking.
+// The caller may stage bursts into several independent logs (the hub's
+// per-shard WAL lanes) and then wait on all the Commits, overlapping
+// the lanes' fsyncs; records are NOT durable until Wait returns nil.
+// All other LogReceivedBatch semantics (ordering, duplicate no-ops,
+// duplicate bursts still waiting out in-flight batches) are unchanged.
+func (g *GroupLog) LogReceivedBatchStart(entries []BatchEntry) (Commit, error) {
+	if len(entries) == 0 {
+		return Commit{}, nil
 	}
 	for i := range entries {
 		if entries[i].Key == "" {
-			return errors.New("plog: empty key")
+			return Commit{}, errors.New("plog: empty key")
 		}
 	}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		return ErrClosed
+		return Commit{}, ErrClosed
 	}
 	if g.failed != nil {
 		err := g.failed
 		g.mu.Unlock()
-		return err
+		return Commit{}, err
 	}
 	buf, staged, err := g.log.stageReceivedBatch(g.scratch[:0], entries)
 	g.scratch = buf[:0]
 	if err != nil {
 		g.mu.Unlock()
-		return err
+		return Commit{}, err
 	}
 	var b *groupBatch
 	if staged > 0 {
@@ -168,14 +201,10 @@ func (g *GroupLog) LogReceivedBatch(entries []BatchEntry) error {
 			b = g.queue[len(g.queue)-1]
 		case g.flushing != nil:
 			b = g.flushing
-		default:
-			g.mu.Unlock()
-			return nil
 		}
 	}
 	g.mu.Unlock()
-	<-b.done
-	return b.err
+	return Commit{b: b}, nil
 }
 
 // MarkProcessedBatchAsync stages DONE records for a burst of keys into
@@ -309,8 +338,16 @@ func (g *GroupLog) openBatchLocked() *groupBatch {
 }
 
 // committer is the single goroutine that flushes batches in order.
+// Each cycle drains as many queued batches as fit under MaxBatch
+// cumulative records and writes them as one vectored append — one
+// write, one fsync — so a backlog built up during a slow fsync clears
+// in a single follow-up sync instead of one per batch. An oversized
+// batch (a burst that overshot the cap when it joined) still commits
+// alone.
 func (g *GroupLog) committer() {
 	defer close(g.done)
+	var take []*groupBatch
+	var vec []byte
 	for {
 		g.mu.Lock()
 		for len(g.queue) == 0 && !g.closed {
@@ -325,13 +362,30 @@ func (g *GroupLog) committer() {
 			time.Sleep(w) // let more appends join the open batch
 			g.mu.Lock()
 		}
-		b := g.queue[0]
-		g.queue = g.queue[1:]
-		g.flushing = b
+		take = take[:0]
+		var lines int64
+		for len(g.queue) > 0 {
+			next := g.queue[0]
+			if len(take) > 0 && lines+next.lines > int64(g.opts.MaxBatch) {
+				break
+			}
+			take = append(take, next)
+			lines += next.lines
+			g.queue = g.queue[1:]
+		}
+		g.flushing = take[len(take)-1]
 		g.mu.Unlock()
 
-		err := g.log.appendBatch(b.buf, b.lines)
-		g.batchSizes.Observe(b.lines)
+		buf := take[0].buf
+		if len(take) > 1 {
+			vec = vec[:0]
+			for _, b := range take {
+				vec = append(vec, b.buf...)
+			}
+			buf = vec
+		}
+		err := g.log.appendBatch(buf, lines)
+		g.batchSizes.Observe(lines)
 
 		g.mu.Lock()
 		g.flushing = nil
@@ -339,8 +393,10 @@ func (g *GroupLog) committer() {
 			g.failed = err
 		}
 		g.mu.Unlock()
-		b.err = err
-		close(b.done)
+		for _, b := range take {
+			b.err = err
+			close(b.done)
+		}
 	}
 }
 

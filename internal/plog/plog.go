@@ -8,13 +8,14 @@
 // buddy fails between routing and marking are detected downstream via
 // alert timestamps.
 //
-// The on-disk format is a line-oriented append-only journal:
-//
-//	RECV <unix-nanos> <key-base64> <payload-base64>
-//	DONE <unix-nanos> <key-base64>
-//
+// The on-disk format is an append-only journal of length-prefixed
+// binary frames (RECV carries key+payload, DONE carries key), each
+// protected by a CRC32C trailer — see binary.go for the byte layout.
 // Every append is fsynced — that is what makes the logging pessimistic
-// — and a torn final line (crash mid-write) is tolerated on recovery.
+// — and a torn final frame (crash mid-write) is detected by checksum
+// and truncated on recovery. Journals written by earlier versions in
+// the line-oriented text format replay once through the legacy parser
+// (segment.go) and migrate to binary segments on open.
 //
 // The journal is *segmented* so that disk, memory, and restart time
 // amortize to O(unprocessed) instead of O(all-time): appends go to a
@@ -117,9 +118,11 @@ type Stats struct {
 	Unprocessed int
 	// Retired counts processed records the sweep dropped from memory.
 	Retired int64
-	// CorruptLines counts malformed journal lines skipped during
-	// replay (torn tails are truncated, not counted).
-	CorruptLines int64
+	// CorruptRecords counts journal records that failed validation
+	// during replay — CRC32C mismatches and malformed frames in binary
+	// segments, malformed lines in legacy text segments (clean torn
+	// tails are truncated, not counted).
+	CorruptRecords int64
 	// Segments is the number of on-disk segments (including the active
 	// one); ActiveSegment is the active segment's sequence number.
 	Segments      int
@@ -139,9 +142,15 @@ type Stats struct {
 	// DiskBytes is the current on-disk footprint (segments plus the
 	// newest checkpoint).
 	DiskBytes int64
+	// Syncs counts fsyncs issued since Open; FsyncLatency is their
+	// latency histogram (microseconds). Carried in Stats so per-lane
+	// snapshots (LaneSet.PerLaneStats) are self-contained.
+	Syncs        int64
+	FsyncLatency metrics.HistogramSnapshot
 	// CommitBatches and StagedBatches summarize the group-commit layer
-	// (populated by GroupLog.Stats, zero for a bare Log): journal lines
-	// per fsync, and fresh records per LogReceivedBatch ingest burst.
+	// (populated by GroupLog.Stats, zero for a bare Log): journal
+	// records per fsync, and fresh records per LogReceivedBatch ingest
+	// burst.
 	CommitBatches metrics.HistogramSnapshot
 	StagedBatches metrics.HistogramSnapshot
 }
@@ -165,6 +174,9 @@ type Log struct {
 	activeSize int64
 	oldestSeq  uint64 // lowest on-disk segment sequence
 	liveSegs   int
+	// activeIsText marks a legacy text segment adopted as active during
+	// recovery; recover() rotates it away before any binary append.
+	activeIsText bool
 
 	syncs    atomic.Int64
 	fsyncLat *metrics.Histogram // microseconds per fsync
@@ -382,7 +394,7 @@ func (l *Log) MarkProcessed(key string, at time.Time) error {
 // it — so one write, and in particular one group-commit batch, never
 // spans a rotation fsync. The caller holds l.mu.
 func (l *Log) appendLocked(buf []byte, records int64) error {
-	if l.activeSize > 0 && l.activeSize+int64(len(buf)) > l.opts.SegmentBytes {
+	if l.activeSize > segHeaderSize && l.activeSize+int64(len(buf)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return err
 		}
@@ -582,7 +594,7 @@ func (l *Log) Stats() Stats {
 		Live:             len(l.order),
 		Unprocessed:      len(l.order) - l.processedLive,
 		Retired:          l.retired,
-		CorruptLines:     l.corrupt,
+		CorruptRecords:   l.corrupt,
 		Segments:         l.liveSegs,
 		ActiveSegment:    l.activeSeq,
 		SegmentsCreated:  l.segsCreated.Load(),
@@ -590,12 +602,17 @@ func (l *Log) Stats() Stats {
 		CheckpointGen:    l.ckptGen,
 		Checkpoints:      l.ckptsWritten.Load(),
 		CompactedBytes:   l.compactedBytes.Load(),
+		Syncs:            l.syncs.Load(),
+		FsyncLatency:     l.fsyncLat.Snapshot(),
 	}
-	for seq := l.oldestSeq; seq <= l.activeSeq; seq++ {
+	for seq := l.oldestSeq; seq < l.activeSeq; seq++ {
 		if fi, err := os.Stat(l.segPath(seq)); err == nil {
 			s.DiskBytes += fi.Size()
 		}
 	}
+	// The active segment counts its written bytes, not its preallocated
+	// file size.
+	s.DiskBytes += l.activeSize
 	if l.ckptGen > 0 {
 		if fi, err := os.Stat(l.ckptPath(l.ckptGen)); err == nil {
 			s.DiskBytes += fi.Size()
@@ -624,6 +641,10 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Drop the preallocated tail so a closed journal occupies only its
+	// real bytes (best-effort; an untruncated zero tail replays
+	// cleanly).
+	_ = l.f.Truncate(l.activeSize)
 	err := l.f.Close()
 	if derr := l.dirf.Close(); err == nil {
 		err = derr

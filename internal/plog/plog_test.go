@@ -207,8 +207,8 @@ func TestRecoveryIgnoresGarbageLines(t *testing.T) {
 	}
 	// The malformed RECV/DONE lines (not the unknown BANANA record,
 	// which is forward-compatibility skip) are counted, not silent.
-	if got := l.Stats().CorruptLines; got != 4 {
-		t.Fatalf("CorruptLines = %d, want 4", got)
+	if got := l.Stats().CorruptRecords; got != 4 {
+		t.Fatalf("CorruptRecords = %d, want 4", got)
 	}
 }
 

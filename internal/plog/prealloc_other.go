@@ -1,0 +1,9 @@
+//go:build !linux
+
+package plog
+
+import "os"
+
+// preallocate is a no-op where fallocate is unavailable; segments grow
+// on demand as before.
+func preallocate(*os.File, int64) error { return nil }

@@ -141,6 +141,14 @@ func (l *Log) recover() error {
 	if len(remaining) > 0 {
 		l.oldestSeq = remaining[0]
 		l.liveSegs = len(remaining)
+		if l.activeIsText {
+			// The adopted active segment is legacy text; retire it so
+			// every new append is a binary frame. Formats never mix
+			// within one file.
+			if err := l.rotateLocked(); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	// No segments past the watermark: start a fresh one.
@@ -148,24 +156,25 @@ func (l *Log) recover() error {
 	if seq == 0 {
 		seq = 1
 	}
-	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := l.createSegment(seq, false)
 	if err != nil {
-		return fmt.Errorf("plog: creating segment %s: %w", l.segPath(seq), err)
-	}
-	if err := l.syncDir(); err != nil {
-		f.Close()
 		return err
 	}
-	l.f, l.activeSeq, l.activeSize = f, seq, 0
+	l.f, l.activeSeq, l.activeSize = f, seq, segHeaderSize
 	l.oldestSeq = seq
 	l.liveSegs = 1
 	l.segsCreated.Add(1)
 	return nil
 }
 
-// replaySegment replays one segment. The last (active) segment keeps
-// its handle for appends, with the torn tail truncated away so
-// subsequent appends start on a clean line boundary.
+// replaySegment replays one segment, sniffing the format from its
+// first bytes: the binary magic selects frame replay, anything else
+// falls back to the legacy text scanner (how pre-binary journals
+// migrate). The last (active) segment keeps its handle for appends,
+// with the torn tail truncated away so subsequent appends start on a
+// clean frame boundary. A legacy text segment adopted as active is
+// flagged so recover() rotates to a fresh binary segment before any
+// new append — formats are never mixed within one file.
 func (l *Log) replaySegment(seq uint64, active bool) error {
 	path := l.segPath(seq)
 	flags := os.O_RDONLY
@@ -176,7 +185,23 @@ func (l *Log) replaySegment(seq uint64, active bool) error {
 	if err != nil {
 		return fmt.Errorf("plog: opening segment %s: %w", path, err)
 	}
-	goodBytes := l.replayLines(bufio.NewReader(f))
+	r := bufio.NewReader(f)
+	peek, _ := r.Peek(len(segMagic))
+	var goodBytes int64
+	binaryFmt := string(peek) == segMagic
+	empty := false
+	switch {
+	case binaryFmt:
+		r.Discard(len(segMagic))
+		goodBytes = segHeaderSize + l.replayFrames(r)
+	case len(peek) == 0:
+		// Empty (or torn-before-magic) segment: nothing to replay; if
+		// active it is re-initialized as binary below.
+		empty = true
+	default:
+		goodBytes = l.replayLines(r)
+		empty = goodBytes == 0
+	}
 	if !active {
 		return f.Close()
 	}
@@ -188,29 +213,85 @@ func (l *Log) replaySegment(seq uint64, active bool) error {
 		f.Close()
 		return fmt.Errorf("plog: seeking %s: %w", path, err)
 	}
+	if !binaryFmt && empty {
+		// Nothing survived replay: claim the file for the binary format
+		// in place instead of rotating.
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("plog: writing segment header %s: %w", path, err)
+		}
+		goodBytes = segHeaderSize
+		binaryFmt = true
+	}
+	if binaryFmt {
+		l.preallocActive(f)
+	}
 	l.f, l.activeSeq, l.activeSize = f, seq, goodBytes
+	l.activeIsText = !binaryFmt
 	return nil
+}
+
+// preallocCap bounds segment preallocation so configurations with an
+// effectively unbounded SegmentBytes (sustained-write benchmarks use
+// 1 TiB) don't reserve that much disk up front.
+const preallocCap = 64 << 20
+
+// preallocActive best-effort-reserves the configured segment size for
+// f. Failure is ignored: ext2/ext3 and some network filesystems lack
+// fallocate, and the segment then simply grows on demand as before.
+// Replay treats the preallocated zero tail as a clean end (a zero
+// length prefix is not a valid frame).
+func (l *Log) preallocActive(f *os.File) {
+	if sb := l.opts.SegmentBytes; sb > 0 && sb <= preallocCap {
+		_ = preallocate(f, sb)
+	}
+}
+
+// createSegment creates a fresh binary segment file: magic header,
+// best-effort preallocation, directory entry fsynced. The magic bytes
+// themselves are not fsynced — the first append's Sync covers them,
+// and a torn magic replays as an empty segment.
+func (l *Log) createSegment(seq uint64, excl bool) (*os.File, error) {
+	flags := os.O_CREATE | os.O_RDWR
+	if excl {
+		flags |= os.O_EXCL
+	}
+	f, err := os.OpenFile(l.segPath(seq), flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plog: creating segment %s: %w", l.segPath(seq), err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("plog: writing segment header %s: %w", l.segPath(seq), err)
+	}
+	l.preallocActive(f)
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // rotateLocked retires the active segment and opens the next one. The
 // caller holds l.mu. The old segment's contents are already durable
 // (every append fsyncs), so rotation only needs the new file's name to
-// be durable before appends land in it.
+// be durable before appends land in it. The retired segment is
+// truncated to its real length so retained segments don't keep their
+// preallocated tails (best-effort: an untruncated zero tail replays
+// cleanly anyway).
 func (l *Log) rotateLocked() error {
 	seq := l.activeSeq + 1
-	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	f, err := l.createSegment(seq, true)
 	if err != nil {
-		return fmt.Errorf("plog: rotating to segment %s: %w", l.segPath(seq), err)
+		return fmt.Errorf("plog: rotating: %w", err)
 	}
-	if err := l.syncDir(); err != nil {
-		f.Close()
-		return err
-	}
+	_ = l.f.Truncate(l.activeSize)
 	if err := l.f.Close(); err != nil {
 		f.Close()
 		return fmt.Errorf("plog: closing retired segment: %w", err)
 	}
-	l.f, l.activeSeq, l.activeSize = f, seq, 0
+	l.f, l.activeSeq, l.activeSize = f, seq, segHeaderSize
+	l.activeIsText = false
 	l.liveSegs++
 	l.segsCreated.Add(1)
 	return nil
@@ -285,49 +366,6 @@ func (l *Log) applyLine(line string) {
 	}
 }
 
-// Journal-line encoders: append-based, so the hot path reuses one
-// buffer instead of allocating fmt.Sprintf + EncodeToString strings
-// per line.
-
-const b64alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
-
-// appendBase64 appends the standard (padded) base64 encoding of src to
-// dst without intermediate allocations. Generic over string/[]byte so
-// keys (strings) encode without a []byte conversion copy.
-func appendBase64[T ~string | ~[]byte](dst []byte, src T) []byte {
-	n := len(src)
-	i := 0
-	for ; i+3 <= n; i += 3 {
-		v := uint32(src[i])<<16 | uint32(src[i+1])<<8 | uint32(src[i+2])
-		dst = append(dst, b64alphabet[v>>18], b64alphabet[v>>12&63], b64alphabet[v>>6&63], b64alphabet[v&63])
-	}
-	switch n - i {
-	case 1:
-		v := uint32(src[i]) << 16
-		dst = append(dst, b64alphabet[v>>18], b64alphabet[v>>12&63], '=', '=')
-	case 2:
-		v := uint32(src[i])<<16 | uint32(src[i+1])<<8
-		dst = append(dst, b64alphabet[v>>18], b64alphabet[v>>12&63], b64alphabet[v>>6&63], '=')
-	}
-	return dst
-}
-
-// appendRecv appends "RECV <nanos> <key-b64> <payload-b64>\n" to dst.
-func appendRecv(dst []byte, nanos int64, key string, payload []byte) []byte {
-	dst = append(dst, "RECV "...)
-	dst = strconv.AppendInt(dst, nanos, 10)
-	dst = append(dst, ' ')
-	dst = appendBase64(dst, key)
-	dst = append(dst, ' ')
-	dst = appendBase64(dst, payload)
-	return append(dst, '\n')
-}
-
-// appendDone appends "DONE <nanos> <key-b64>\n" to dst.
-func appendDone(dst []byte, nanos int64, key string) []byte {
-	dst = append(dst, "DONE "...)
-	dst = strconv.AppendInt(dst, nanos, 10)
-	dst = append(dst, ' ')
-	dst = appendBase64(dst, key)
-	return append(dst, '\n')
-}
+// The binary frame encoders (appendRecv/appendDone) live in binary.go;
+// this file retains only the legacy text *parser* so pre-binary
+// journals replay once and migrate.

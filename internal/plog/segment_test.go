@@ -238,7 +238,7 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	if st.CheckpointGen != 1 {
 		t.Fatalf("fallback checkpoint gen = %d, want 1", st.CheckpointGen)
 	}
-	if st.CorruptLines == 0 {
+	if st.CorruptRecords == 0 {
 		t.Fatal("corrupt checkpoint not counted")
 	}
 	// The torn artifacts are gone from disk.
