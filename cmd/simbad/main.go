@@ -19,7 +19,7 @@
 //	       [-wal-lanes L] [-wal-segment-bytes B] [-wal-checkpoint-every R]
 //	       [-mode-frac F] [-ack-timeout D] [-im-ack-p P]
 //	       [-guaranteed-frac F] [-outbox-dir DIR] [-outbox-backoff D]
-//	       [-burst B] [-route-batch R] [-pprof ADDR]
+//	       [-burst B] [-route-batch R] [-gc-stats] [-pprof ADDR]
 //
 // With -burst > 1 the portal workload is offered through
 // Hub.SubmitBatch in bursts of that size (amortizing the group-commit
@@ -29,7 +29,9 @@
 // one per shard) so shards fsync in parallel; the run report breaks
 // fsync counts and latency down per lane. -pprof serves
 // net/http/pprof on the given address (e.g. localhost:6060) for
-// profiling either mode while it runs.
+// profiling either mode while it runs. -gc-stats brackets the hub run
+// with runtime.MemStats snapshots and appends heap allocations per
+// alert plus a GC pause histogram to the report.
 //
 // A -mode-frac fraction of hosted tenants carries a personalized
 // "IM with acknowledgement, fallback email" delivery mode executed by
@@ -56,6 +58,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +73,7 @@ import (
 	"simba/internal/hub"
 	"simba/internal/im"
 	"simba/internal/mab"
+	"simba/internal/metrics"
 	"simba/internal/proxy"
 	"simba/internal/wish"
 )
@@ -94,6 +98,7 @@ func main() {
 	guaranteedFrac := flag.Float64("guaranteed-frac", 0.05, "hub: fraction of tenants on the guaranteed delivery tier (outbox-backed)")
 	outboxDir := flag.String("outbox-dir", "", "hub: directory for the guaranteed-tier retry outbox journal (default: the run's temp dir)")
 	outboxBackoff := flag.Duration("outbox-backoff", 50*time.Millisecond, "hub: base outbox redelivery backoff (doubles per round, capped)")
+	gcStats := flag.Bool("gc-stats", false, "hub: report heap allocations per alert and the GC pause histogram for the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -112,6 +117,7 @@ func main() {
 			modeFrac: *modeFrac, ackTimeout: *ackTimeout, imAckP: *imAckP,
 			burst: *burst, routeBatch: *routeBatch,
 			guaranteedFrac: *guaranteedFrac, outboxDir: *outboxDir, outboxBackoff: *outboxBackoff,
+			gcStats: *gcStats,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -248,6 +254,7 @@ type hubParams struct {
 	guaranteedFrac            float64
 	outboxDir                 string
 	outboxBackoff             time.Duration
+	gcStats                   bool
 }
 
 // runHub hosts N tenants behind a K-way sharded hub and drives a
@@ -383,6 +390,14 @@ func runHub(p hubParams) error {
 	if workers > alerts {
 		workers = alerts
 	}
+	// With -gc-stats the run is bracketed by MemStats snapshots; the
+	// forced GC gives the delta a clean baseline so warmup garbage from
+	// setup does not pollute the per-alert numbers.
+	var mem0, mem1 runtime.MemStats
+	if p.gcStats {
+		runtime.GC()
+		runtime.ReadMemStats(&mem0)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	errc := make(chan error, workers)
@@ -451,6 +466,9 @@ func runHub(p hubParams) error {
 	default:
 	}
 	elapsed := time.Since(start)
+	if p.gcStats {
+		runtime.ReadMemStats(&mem1)
+	}
 
 	st := h.Stats()
 	c := h.Counters()
@@ -505,5 +523,36 @@ func runHub(p hubParams) error {
 		fmt.Printf("  shard %d: peak queue depth %d, peak in-flight deliveries %d\n",
 			s.Shard, s.PeakDepth, s.PeakInFlight)
 	}
+	if p.gcStats {
+		reportGCStats(&mem0, &mem1, alerts)
+	}
 	return nil
+}
+
+// reportGCStats prints the heap-allocation and GC-pause cost of the
+// run from the bracketing MemStats snapshots: objects and bytes
+// allocated per submitted alert, the GC cycle count, and a histogram
+// of the stop-the-world pauses that landed inside the run.
+func reportGCStats(before, after *runtime.MemStats, alerts int) {
+	mallocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	cycles := after.NumGC - before.NumGC
+	fmt.Printf("\nGC stats (-gc-stats):\n")
+	fmt.Printf("  heap allocations: %d objects, %.1f MB total — %.1f allocs/alert, %.0f B/alert\n",
+		mallocs, float64(bytes)/(1<<20),
+		float64(mallocs)/float64(alerts), float64(bytes)/float64(alerts))
+	fmt.Printf("  GC cycles: %d, total pause %v\n",
+		cycles, (time.Duration(after.PauseTotalNs-before.PauseTotalNs) * time.Nanosecond).Round(time.Microsecond))
+	// PauseNs is a circular buffer indexed by (NumGC+255)%256; walk the
+	// cycles the run triggered (bounded by the buffer length).
+	n := cycles
+	if n > uint32(len(after.PauseNs)) {
+		n = uint32(len(after.PauseNs))
+	}
+	var pauses metrics.Histogram
+	for i := uint32(0); i < n; i++ {
+		gc := after.NumGC - i // cycle numbers, newest first
+		pauses.Observe(int64(after.PauseNs[(gc+255)%256] / 1000))
+	}
+	fmt.Printf("  GC pauses (µs): %s\n", pauses.Snapshot())
 }

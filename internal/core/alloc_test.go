@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"simba/internal/addr"
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dmode"
+	"simba/internal/race"
+)
+
+// TestDeliverScratchZeroAllocs pins the pooled delivery hot path at
+// zero steady-state allocations: with the alert key and wire payload
+// precomputed (as the hub's delivery stage does) and the report,
+// result backing, and ack keys living in a reusable Scratch, a flat
+// confirm-on-send delivery must not touch the heap.
+func TestDeliverScratchZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc accounting is not meaningful under the race detector")
+	}
+	clk := clock.NewReal()
+	chans := NewChannels().Register(addr.TypeSink, ChannelFunc(func(req Send) (SendResult, error) {
+		return SendResult{Confirmed: true}, nil
+	}))
+	exec, err := NewExecutor(clk, chans, NewAcks(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := addr.NewRegistry("alloc-test")
+	if err := reg.Register(addr.Address{
+		Type: addr.TypeSink, Name: "substrate", Target: "substrate", Enabled: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mode := &dmode.Mode{
+		Name:   "Flat",
+		Blocks: []dmode.Block{{Actions: []dmode.Action{{Address: "substrate"}}}},
+	}
+	a := &alert.Alert{
+		ID: "a-1", Source: "portal", Keywords: []string{"stocks"},
+		Subject: "quote", Body: "MSFT moved", Urgency: alert.UrgencyNormal,
+		Created: time.Unix(0, 1),
+	}
+	payload, err := a.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := a.DedupKey()
+	ctx := DeliveryContext{User: "user-1", Shard: 0}
+	scr := NewScratch(nil)
+
+	// Warm once so lazily grown scratch backing reaches steady state.
+	if _, err := exec.DeliverScratch(ctx, a, key, payload, reg, mode, scr); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rep, err := exec.DeliverScratch(ctx, a, key, payload, reg, mode, scr)
+		if err != nil || !rep.Delivered {
+			t.Fatalf("delivery failed: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DeliverScratch allocates %.1f objects per delivery, want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"simba/internal/clock"
 	"simba/internal/dmode"
 	"simba/internal/im"
+	"simba/internal/timewheel"
 )
 
 // Acks tracks pending IM acknowledgements across concurrent
@@ -136,6 +137,30 @@ func (x *Executor) Channels() *Channels { return x.channels }
 // Acks returns the executor's acknowledgement table.
 func (x *Executor) Acks() *Acks { return x.acks }
 
+// Scratch is one delivery worker's reusable storage: the Report, its
+// BlockResult/ActionResult backing arrays, the pending-ack key list,
+// and (optionally) the timer wheel ack waits are multiplexed onto.
+// DeliverScratch writes each delivery's report into it instead of
+// allocating, so a worker's steady-state delivery is allocation-free.
+//
+// A Scratch must not be shared between concurrent deliveries, and a
+// report returned by DeliverScratch is BORROWED: it is valid only until
+// the same Scratch's next delivery. Callers that retain reports (or
+// hand them to callbacks that do) must copy what they need first.
+type Scratch struct {
+	rep  Report
+	keys []ackKey
+	// wheel, when set, services ack-timeout waits instead of a fresh
+	// Clock.NewTimer per block.
+	wheel *timewheel.Wheel
+}
+
+// NewScratch builds a reusable delivery scratch. wheel may be nil, in
+// which case ack waits fall back to per-block clock timers.
+func NewScratch(wheel *timewheel.Wheel) *Scratch {
+	return &Scratch{wheel: wheel}
+}
+
 // Deliver executes the delivery mode for one alert on the personal
 // path (zero DeliveryContext). See DeliverAs.
 func (x *Executor) Deliver(a *alert.Alert, reg *addr.Registry, mode *dmode.Mode) (*Report, error) {
@@ -147,26 +172,60 @@ func (x *Executor) Deliver(a *alert.Alert, reg *addr.Registry, mode *dmode.Mode)
 // It blocks for up to the sum of the blocks' timeouts (only blocks
 // that must wait for an acknowledgement consume their timeout). On
 // total failure the error wraps ErrAllBlocksFailed and carries the
-// report's per-action failure summary.
+// report's per-action failure summary. The returned report is freshly
+// allocated and the caller owns it.
 func (x *Executor) DeliverAs(ctx DeliveryContext, a *alert.Alert, reg *addr.Registry, mode *dmode.Mode) (*Report, error) {
+	return x.deliver(ctx, a, "", nil, reg, mode, nil)
+}
+
+// DeliverScratch is DeliverAs for the pooled hot path: the report is
+// written into scr (see Scratch for the borrowing contract), payload is
+// the alert's pre-marshaled wire form (nil marshals on the spot), and
+// alertKey is the alert's pre-computed dedup key ("" computes it) — the
+// hub passes both from envelope-owned storage so a delivery allocates
+// nothing. scr may be nil, making this exactly DeliverAs.
+func (x *Executor) DeliverScratch(ctx DeliveryContext, a *alert.Alert, alertKey string, payload []byte, reg *addr.Registry, mode *dmode.Mode, scr *Scratch) (*Report, error) {
+	return x.deliver(ctx, a, alertKey, payload, reg, mode, scr)
+}
+
+func (x *Executor) deliver(ctx DeliveryContext, a *alert.Alert, alertKey string, payload []byte, reg *addr.Registry, mode *dmode.Mode, scr *Scratch) (*Report, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	if err := mode.Validate(); err != nil {
 		return nil, err
 	}
-	payload, err := a.MarshalText()
-	if err != nil {
-		return nil, err
+	if payload == nil {
+		var err error
+		if payload, err = a.MarshalText(); err != nil {
+			return nil, err
+		}
 	}
-	report := &Report{
-		AlertKey:  a.DedupKey(),
-		ModeName:  mode.Name,
-		StartedAt: x.clk.Now(),
+	if alertKey == "" {
+		alertKey = a.DedupKey()
 	}
+	// The fresh-Report literal must stay on the scratch-less branch:
+	// report escapes, so an unconditional literal would heap-allocate on
+	// every call even when the scratch's report replaces it.
+	var report *Report
+	if scr != nil {
+		report = &scr.rep
+	} else {
+		report = &Report{}
+	}
+	// Field-by-field reset: a struct literal would drop the Blocks
+	// backing array (and each block's Actions backing) the scratch
+	// exists to reuse.
+	report.AlertKey = alertKey
+	report.ModeName = mode.Name
+	report.Blocks = report.Blocks[:0]
+	report.Delivered = false
+	report.DeliveredVia = ""
+	report.StartedAt = x.clk.Now()
+	report.FinishedAt = time.Time{}
 	for i := range mode.Blocks {
-		br := x.runBlock(ctx, i, &mode.Blocks[i], reg, a, payload)
-		report.Blocks = append(report.Blocks, br)
+		br := appendBlockResult(&report.Blocks, i)
+		x.runBlock(ctx, br, &mode.Blocks[i], reg, a, payload, scr)
 		if br.Succeeded {
 			report.Delivered = true
 			report.DeliveredVia = deliveredVia(br)
@@ -181,19 +240,60 @@ func (x *Executor) DeliverAs(ctx DeliveryContext, a *alert.Alert, reg *addr.Regi
 	return report, nil
 }
 
+// appendBlockResult extends blocks by one slot, reusing the slot's
+// Actions backing array when growing within capacity (scratch reuse),
+// and returns the reset slot.
+func appendBlockResult(blocks *[]BlockResult, index int) *BlockResult {
+	s := *blocks
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+		br := &s[len(s)-1]
+		br.Index = index
+		br.Actions = br.Actions[:0]
+		br.Succeeded = false
+		br.Elapsed = 0
+		*blocks = s
+		return br
+	}
+	s = append(s, BlockResult{Index: index})
+	*blocks = s
+	return &s[len(s)-1]
+}
+
+// appendActionResult extends actions by one reset slot, reusing backing
+// storage within capacity.
+func appendActionResult(actions *[]ActionResult, name string) *ActionResult {
+	s := *actions
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+		res := &s[len(s)-1]
+		*res = ActionResult{AddressName: name}
+		*actions = s
+		return res
+	}
+	s = append(s, ActionResult{AddressName: name})
+	*actions = s
+	return &s[len(s)-1]
+}
+
 // runBlock performs all enabled actions of one block and decides its
 // outcome: immediate success if any fire-and-forget action was
 // confirmed, else success iff an acknowledgement arrives within the
-// block timeout.
-func (x *Executor) runBlock(ctx DeliveryContext, index int, b *dmode.Block, reg *addr.Registry, a *alert.Alert, payload []byte) BlockResult {
+// block timeout. Results are written into br (already reset by
+// appendBlockResult). The ack channel is created lazily — only when an
+// unconfirmed send actually registers a pending ack — so blocks whose
+// actions confirm at send time (the hub's flat path) allocate nothing.
+func (x *Executor) runBlock(ctx DeliveryContext, br *BlockResult, b *dmode.Block, reg *addr.Registry, a *alert.Alert, payload []byte, scr *Scratch) {
 	start := x.clk.Now()
-	br := BlockResult{Index: index}
-	ackCh := make(chan ackArrival, len(b.Actions))
+	var ackCh chan ackArrival
 	var keys []ackKey
+	if scr != nil {
+		keys = scr.keys[:0]
+	}
 	immediate := "" // friendly name of a fire-and-forget success
 
 	for _, action := range b.Actions {
-		res := ActionResult{AddressName: action.Address}
+		res := appendActionResult(&br.Actions, action.Address)
 		address, ok := reg.Lookup(action.Address)
 		switch {
 		case !ok:
@@ -227,45 +327,72 @@ func (x *Executor) runBlock(ctx DeliveryContext, index int, b *dmode.Block, reg 
 				break
 			}
 			res.Seq = sr.Seq
+			if ackCh == nil {
+				ackCh = make(chan ackArrival, len(b.Actions))
+			}
 			key := ackKey{handle: address.Target, seq: sr.Seq}
 			x.acks.register(key, &pendingAck{ch: ackCh, name: address.Name})
 			keys = append(keys, key)
 		}
-		br.Actions = append(br.Actions, res)
 	}
 
 	switch {
 	case immediate != "":
 		br.Succeeded = true
 	case len(keys) > 0:
-		timer := x.clk.NewTimer(b.EffectiveTimeout())
-		select {
-		case arr := <-ackCh:
-			timer.Stop()
-			br.Succeeded = true
-			for i := range br.Actions {
-				if br.Actions[i].AddressName == arr.name && br.Actions[i].Err == nil {
-					br.Actions[i].AckedAt = arr.at
-				}
+		x.waitAck(br, b, ackCh, scr)
+	}
+	// Unregister any acks still pending for this block.
+	if len(keys) > 0 {
+		x.acks.cancel(keys, ackCh)
+	}
+	if scr != nil {
+		scr.keys = keys[:0]
+	}
+	br.Elapsed = x.clk.Now().Sub(start)
+}
+
+// waitAck blocks until one of the block's registered acks arrives or
+// the block timeout expires, annotating br accordingly. The timeout
+// runs on the scratch's timer wheel when available (one pooled wheel
+// node instead of a fresh clock timer per wait), else on a clock timer.
+func (x *Executor) waitAck(br *BlockResult, b *dmode.Block, ackCh chan ackArrival, scr *Scratch) {
+	var (
+		fire <-chan time.Time
+		stop func()
+	)
+	if scr != nil && scr.wheel != nil {
+		t := scr.wheel.After(b.EffectiveTimeout())
+		fire = t.C()
+		stop = func() { scr.wheel.Release(t) }
+	} else {
+		t := x.clk.NewTimer(b.EffectiveTimeout())
+		fire = t.C()
+		stop = func() { t.Stop() }
+	}
+	select {
+	case arr := <-ackCh:
+		stop()
+		br.Succeeded = true
+		for i := range br.Actions {
+			if br.Actions[i].AddressName == arr.name && br.Actions[i].Err == nil {
+				br.Actions[i].AckedAt = arr.at
 			}
-		case <-timer.C():
-			for i := range br.Actions {
-				if br.Actions[i].Err == nil && !br.Actions[i].Confirmed {
-					br.Actions[i].Err = fmt.Errorf("no acknowledgement within %v", b.EffectiveTimeout())
-				}
+		}
+	case <-fire:
+		stop()
+		for i := range br.Actions {
+			if br.Actions[i].Err == nil && !br.Actions[i].Confirmed {
+				br.Actions[i].Err = fmt.Errorf("no acknowledgement within %v", b.EffectiveTimeout())
 			}
 		}
 	}
-	// Unregister any acks still pending for this block.
-	x.acks.cancel(keys, ackCh)
-	br.Elapsed = x.clk.Now().Sub(start)
-	return br
 }
 
 // deliveredVia picks the confirming address name from a succeeded
 // block: an acked action first, else the first fire-and-forget
 // confirmation.
-func deliveredVia(br BlockResult) string {
+func deliveredVia(br *BlockResult) string {
 	for _, res := range br.Actions {
 		if !res.AckedAt.IsZero() {
 			return res.AddressName

@@ -2,6 +2,7 @@ package hub
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"simba/internal/addr"
@@ -12,7 +13,7 @@ import (
 	"simba/internal/metrics"
 	"simba/internal/outbox"
 	"simba/internal/plog"
-	"sync"
+	"simba/internal/timewheel"
 )
 
 // deliveredViaCounter names the per-channel-type delivery counter.
@@ -23,22 +24,18 @@ func deliveredViaCounter(t addr.Type) string {
 	return "delivered-via-" + string(t)
 }
 
-// deliveryJob is one routed alert handed from the shard loop to the
-// delivery stage.
-type deliveryJob struct {
-	env      envelope
-	routed   *alert.Alert
-	category string // routing category, selects the tenant's subscribed delivery mode
-	handed   time.Time // when routing handed the job off, for the deliver-stage latency split
-}
-
-// userQueue is one tenant's pending deliveries, owned by at most one
+// userQueue is one tenant's pending deliveries — an intrusive FIFO of
+// envelopes linked through their next pointers — owned by at most one
 // worker goroutine at a time so per-user FIFO is structural, not
 // incidental: a user's next delivery starts only after the previous one
-// (including its retries and WAL mark) has finished.
+// (including its retries and WAL mark) has finished. Queue nodes are
+// pooled; the envelopes themselves carry the links, so chaining a
+// backlog allocates nothing.
 type userQueue struct {
-	jobs []deliveryJob
+	head, tail *envelope
 }
+
+var userQueuePool = sync.Pool{New: func() any { return new(userQueue) }}
 
 // deliveryStage is one shard's asynchronous delivery pipeline. The
 // shard loop stays on routing and WAL work; deliveries — the calls into
@@ -51,6 +48,14 @@ type deliveryStage struct {
 	sh  *shard
 	rng *dist.RNG // forked per stage: backoff jitter never contends across shards
 
+	// wheel multiplexes the stage's retry backoffs and its workers' ack
+	// waits onto one clock timer (pooled nodes, no per-wait allocation).
+	wheel *timewheel.Wheel
+
+	// scratch pools the workers' reusable executor scratches (report +
+	// result backing + ack keys), wired to the stage's wheel.
+	scratch sync.Pool
+
 	// window bounds concurrently executing deliveries (not queued work,
 	// which the shard's admission depth already bounds).
 	window chan struct{}
@@ -60,68 +65,100 @@ type deliveryStage struct {
 	mu    sync.Mutex
 	users map[string]*userQueue
 	wg    sync.WaitGroup // live user workers; quiesced by Drain, abandoned by Kill
+
+	// spawns is submitBatch's reusable scratch; only the shard loop
+	// calls submitBatch, so no lock guards it.
+	spawns []userSpawn
+}
+
+type userSpawn struct {
+	user string
+	q    *userQueue
 }
 
 func newDeliveryStage(h *Hub, sh *shard) *deliveryStage {
-	return &deliveryStage{
+	d := &deliveryStage{
 		h:      h,
 		sh:     sh,
 		rng:    sh.rng.Fork("delivery"),
+		wheel:  timewheel.New(h.cfg.Clock, timewheel.Options{Poison: poolPoison.Load()}),
 		window: make(chan struct{}, h.cfg.DeliveryWindow),
 		users:  make(map[string]*userQueue),
 	}
+	d.scratch.New = func() any { return core.NewScratch(d.wheel) }
+	return d
 }
 
-// submitBatch hands a burst of routed alerts to the stage under a
-// single lock acquisition. Called only from the shard loop, so jobs
-// for one user arrive in routing order; it never blocks — backlog is
-// bounded by the shard's admission depth, whose reservation is held
-// until each delivery completes. Workers for users without a live
-// chain are spawned after the lock is dropped.
-func (d *deliveryStage) submitBatch(jobs []deliveryJob) {
-	type spawn struct {
-		user string
-		q    *userQueue
-	}
-	var spawns []spawn
+// submitBatch hands a burst of routed envelopes to the stage under a
+// single lock acquisition. Called only from the shard loop, so
+// envelopes for one user arrive in routing order; it never blocks —
+// backlog is bounded by the shard's admission depth, whose reservation
+// is held until each delivery completes. Workers for users without a
+// live chain are spawned after the lock is dropped.
+func (d *deliveryStage) submitBatch(envs []*envelope) {
+	spawns := d.spawns[:0]
 	d.mu.Lock()
-	for _, job := range jobs {
-		user := job.env.buddy.user
+	for _, env := range envs {
+		user := env.buddy.user
 		if q, ok := d.users[user]; ok {
 			// The user has a live worker: chain behind it (per-user FIFO).
-			q.jobs = append(q.jobs, job)
+			// An empty chain (the worker is mid-delivery on the last
+			// envelope) restarts from the head — the worker re-checks
+			// under the lock before exiting, so the envelope is seen.
+			if q.head == nil {
+				q.head, q.tail = env, env
+			} else {
+				q.tail.next = env
+				q.tail = env
+			}
 			continue
 		}
-		q := &userQueue{jobs: []deliveryJob{job}}
+		q := userQueuePool.Get().(*userQueue)
+		q.head, q.tail = env, env
 		d.users[user] = q
-		spawns = append(spawns, spawn{user: user, q: q})
+		spawns = append(spawns, userSpawn{user: user, q: q})
 	}
 	d.wg.Add(len(spawns))
 	d.mu.Unlock()
 	for _, s := range spawns {
 		go d.runUser(s.user, s.q)
 	}
+	d.spawns = spawns[:0]
 }
 
-// runUser drains one tenant's chain, job by job. The worker exits when
-// the chain empties (deleting the queue under the lock, so a later
-// submit starts a fresh worker) or when the hub is killed.
+// runUser drains one tenant's chain, envelope by envelope. The worker
+// exits when the chain empties or the hub is killed; either way it
+// deletes its map entry (a churn of one-shot tenants must not grow the
+// users map) and recycles the queue node.
 func (d *deliveryStage) runUser(user string, q *userQueue) {
 	defer d.wg.Done()
+	scr := d.scratch.Get().(*core.Scratch)
 	for {
 		d.mu.Lock()
-		if len(q.jobs) == 0 {
+		env := q.head
+		if env == nil {
+			delete(d.users, user)
+			d.mu.Unlock()
+			q.tail = nil
+			userQueuePool.Put(q)
+			d.scratch.Put(scr)
+			return
+		}
+		q.head = env.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		d.mu.Unlock()
+		env.next = nil
+		if !d.acquire() {
+			// Killed: the undone entries replay from the WAL. Still
+			// drop the map entry so a kill mid-backlog cannot strand it.
+			d.mu.Lock()
 			delete(d.users, user)
 			d.mu.Unlock()
 			return
 		}
-		job := q.jobs[0]
-		q.jobs = q.jobs[1:]
-		d.mu.Unlock()
-		if !d.acquire() {
-			return // killed: the undone entries replay from the WAL
-		}
-		d.perform(job)
+		d.perform(env, scr)
 		d.release()
 	}
 }
@@ -158,19 +195,34 @@ func (d *deliveryStage) release() {
 // the flat substrate plan) through the shared executor, retry failed
 // attempts — every block exhausted — with capped exponential backoff +
 // jitter, and only then stage the WAL DONE record. A kill abandons the
-// job before the mark, leaving the entry for the next incarnation to
-// replay. What attempt exhaustion means depends on the QoS tier:
+// envelope before the mark, leaving the entry for the next incarnation
+// to replay. What attempt exhaustion means depends on the QoS tier:
 // best-effort drops the alert (counted as lost); guaranteed persists
 // the envelope to the retry outbox — durably, before the WAL entry is
 // retired, so ownership transfers between the logs with no uncovered
 // instant — and the outbox redelivers with escalating backoff.
-func (d *deliveryStage) perform(job deliveryJob) {
+//
+// The routed alert's wire form is encoded once, into envelope-owned
+// storage, and reused by every attempt; the report lands in the
+// worker's scratch. An envelope that completes (delivered, dropped, or
+// handed off) recycles into the pool after its DONE is staged on its
+// home lane; abandoned paths leave recycling to the GC.
+func (d *deliveryStage) perform(env *envelope, scr *core.Scratch) {
 	h := d.h
-	b := job.env.buddy
-	reg, mode, tier := h.plan(b, job.category)
+	b := env.buddy
+	reg, mode, tier := h.plan(b, env.category)
 	ctx := core.DeliveryContext{User: b.user, Shard: d.sh.id}
+	// env.key is user + keySep + dedup-key; slice off the alert key so
+	// the executor does not rebuild it per attempt.
+	alertKey := env.key[len(b.user)+len(keySep):]
+	payload, perr := env.alert.AppendWire(env.payload[:0])
+	if perr != nil {
+		payload = nil // unreachable for validated alerts; executor re-derives
+	} else {
+		env.payload = payload
+	}
 	for attempt := 1; ; attempt++ {
-		rep, err := h.exec.DeliverAs(ctx, job.routed, reg, mode)
+		rep, err := h.exec.DeliverScratch(ctx, &env.alert, alertKey, payload, reg, mode, scr)
 		if f := h.cfg.OnDelivery; f != nil {
 			f(b.user, rep, err)
 		}
@@ -178,20 +230,16 @@ func (d *deliveryStage) perform(job deliveryJob) {
 			b.delivered.Add(1)
 			h.ctr.delivered.Add1()
 			h.ctr.tierDelivered[tier].Add1()
-			if via, ok := h.deliveredVia[rep.DeliveredType()]; ok {
-				via.Add1()
-			} else {
-				h.counters.Add1(deliveredViaCounter(rep.DeliveredType()))
-			}
+			h.deliveredViaCounterFor(rep.DeliveredType()).Add1()
 			break
 		}
 		if attempt >= h.cfg.DeliveryMaxAttempts {
 			if tier == core.TierGuaranteed && h.outbox != nil {
-				if !d.handoff(job, attempt) {
+				if !d.handoff(env, attempt) {
 					// The envelope could not be made durable in the
 					// outbox; leave the WAL entry unprocessed so the next
 					// incarnation replays the alert instead of losing it.
-					h.deliverLat.Observe(h.cfg.Clock.Since(job.handed))
+					h.deliverLat.Observe(h.cfg.Clock.Since(env.handed))
 					d.sh.release()
 					return
 				}
@@ -200,7 +248,7 @@ func (d *deliveryStage) perform(job deliveryJob) {
 					// The handoff window: the outbox owns the envelope but
 					// the WAL entry is not yet retired — both logs replay
 					// it next incarnation; dedup collapses the duplicate.
-					h.crash(b.user, job.env.alert)
+					h.crash(b.user, &env.alert)
 					return
 				}
 			} else {
@@ -214,9 +262,9 @@ func (d *deliveryStage) perform(job deliveryJob) {
 			return // killed mid-backoff
 		}
 	}
-	h.deliverLat.Observe(h.cfg.Clock.Since(job.handed))
+	h.deliverLat.Observe(h.cfg.Clock.Since(env.handed))
 	if f := h.cfg.CrashBeforeMark; f != nil && f.Active() {
-		h.crash(b.user, job.env.alert)
+		h.crash(b.user, &env.alert)
 		return
 	}
 	select {
@@ -224,40 +272,43 @@ func (d *deliveryStage) perform(job deliveryJob) {
 		return // killed after delivery: the duplicate on replay is the dedup contract's case
 	default:
 	}
-	if err := h.wal.Lane(job.env.lane).MarkProcessedAsync(job.env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
+	if err := h.wal.Lane(env.lane).MarkProcessedAsync(env.key, h.cfg.Clock.Now()); err != nil && !errors.Is(err, plog.ErrClosed) {
 		h.ctr.markFailed.Add1()
 	}
-	h.latency.Observe(h.cfg.Clock.Since(job.env.at))
+	h.latency.Observe(h.cfg.Clock.Since(env.at))
 	d.sh.release()
+	putEnvelope(env)
 }
 
 // handoff persists an attempt-exhausted guaranteed-tier delivery to
 // the retry outbox. A true return means the envelope is fsynced there
 // and the caller may retire the ingest WAL entry; false means the
 // outbox rejected it (closed during shutdown, encoding failure) and
-// the WAL entry must stay unprocessed.
-func (d *deliveryStage) handoff(job deliveryJob, attempts int) bool {
+// the WAL entry must stay unprocessed. The outbox retains the alert
+// beyond this call, so the pooled envelope's inline alert is cloned.
+func (d *deliveryStage) handoff(env *envelope, attempts int) bool {
 	h := d.h
 	err := h.outbox.Put(outbox.Entry{
-		User:     job.env.buddy.user,
-		Category: job.category,
-		Alert:    job.routed,
+		User:     env.buddy.user,
+		Category: env.category,
+		Alert:    env.alert.Clone(),
 		Attempts: attempts,
 	})
 	if err != nil {
 		h.journal(faults.KindOutbox, "outbox handoff failed for %s alert %s: %v",
-			job.env.buddy.user, job.routed.DedupKey(), err)
+			env.buddy.user, env.alert.DedupKey(), err)
 		return false
 	}
 	h.journal(faults.KindOutbox, "handed %s alert %s to the outbox after %d attempts",
-		job.env.buddy.user, job.routed.DedupKey(), attempts)
+		env.buddy.user, env.alert.DedupKey(), attempts)
 	return true
 }
 
 // backoff sleeps before retry attempt+1: exponential in the attempt
 // number, capped, with multiplicative jitter from the stage's forked
-// RNG so colliding retries across tenants decorrelate. Returns false if
-// the hub was killed during the wait.
+// RNG so colliding retries across tenants decorrelate. The wait rides
+// the stage's timer wheel — a pooled node, not a fresh clock timer.
+// Returns false if the hub was killed during the wait.
 func (d *deliveryStage) backoff(attempt int) bool {
 	h := d.h
 	delay := h.cfg.DeliveryBackoff
@@ -269,12 +320,13 @@ func (d *deliveryStage) backoff(attempt int) bool {
 	}
 	// Full jitter over the upper half: [delay/2, delay).
 	delay = delay/2 + time.Duration(d.rng.Float64()*float64(delay/2))
-	t := h.cfg.Clock.NewTimer(delay)
-	defer t.Stop()
+	t := d.wheel.After(delay)
 	select {
 	case <-h.killed:
+		d.wheel.Release(t)
 		return false
 	case <-t.C():
+		d.wheel.Release(t)
 		return true
 	}
 }

@@ -473,8 +473,10 @@ type Hub struct {
 		tierDelivered, tierDuplicated, tierLost [core.NumTiers]*metrics.Counter
 	}
 	// deliveredVia maps the standard channel types to their resolved
-	// delivered-via-<type> counters; unknown types fall back to a name
-	// lookup.
+	// delivered-via-<type> counters, built once in New and read-only
+	// after — the delivery hot path bumps a handle instead of
+	// concatenating a counter name per alert. Unknown (custom-channel)
+	// types fall back to CounterSet's name lookup.
 	deliveredVia map[addr.Type]*metrics.Counter
 
 	latency *metrics.Recorder
@@ -802,13 +804,19 @@ func (h *Hub) redeliver(e *outbox.Entry) (int, error) {
 		b.delivered.Add(1)
 		h.ctr.delivered.Add1()
 		h.ctr.tierDelivered[core.TierGuaranteed].Add1()
-		if via, ok := h.deliveredVia[rep.DeliveredType()]; ok {
-			via.Add1()
-		} else {
-			h.counters.Add1(deliveredViaCounter(rep.DeliveredType()))
-		}
+		h.deliveredViaCounterFor(rep.DeliveredType()).Add1()
 	}
 	return blocks, err
+}
+
+// deliveredViaCounterFor resolves the delivered-via counter for a
+// channel type: a map hit for the standard types (no per-delivery name
+// building), CounterSet's lock-free lookup for custom ones.
+func (h *Hub) deliveredViaCounterFor(t addr.Type) *metrics.Counter {
+	if via, ok := h.deliveredVia[t]; ok {
+		return via
+	}
+	return h.counters.Counter(deliveredViaCounter(t))
 }
 
 // replay re-enqueues the WAL lanes' unprocessed entries, merged by
@@ -845,7 +853,9 @@ func (h *Hub) replay() {
 		h.counters.Add1("replayed")
 		sh := h.shardOf(user)
 		sh.reserveBlocking() // startup: loops are draining, so this cannot wedge
-		sh.enqueue(envelope{buddy: b, alert: &a, key: rec.Key, lane: rec.Lane, at: h.cfg.Clock.Now()})
+		env := getEnvelope()
+		env.fill(b, &a, rec.Key, rec.Lane, h.cfg.Clock.Now())
+		sh.enqueue(env)
 	}
 }
 
@@ -875,6 +885,10 @@ type submitPending struct {
 	key   string
 	lane  int
 	dup   bool // already durable (or duplicated within the burst): re-ack only
+	// env is the pooled envelope filled in pass 3 (fresh admissions
+	// only): its inline alert copy backs the WAL payload encode and is
+	// what the shard routes, so the submitter's alert is never aliased.
+	env *envelope
 }
 
 // SubmitBatch offers a burst of alerts, amortizing the ingest path's
@@ -910,6 +924,8 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 	pending := make([]submitPending, 0, len(subs))
 	var seen map[string]struct{} // lazily built; bursts of 1 never need it
 	counts := make([]int64, len(h.shards))
+	var keyArr [96]byte // stack scratch: key building costs one string alloc, not three
+	keyBuf := keyArr[:0]
 	for i := range subs {
 		s := &subs[i]
 		if err := s.Alert.Validate(); err != nil {
@@ -923,7 +939,10 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			errs[i] = fmt.Errorf("hub: submit for %q: %w", s.User, ErrUnknownUser)
 			continue
 		}
-		key := s.User + keySep + s.Alert.DedupKey()
+		keyBuf = append(keyBuf[:0], s.User...)
+		keyBuf = append(keyBuf, keySep...)
+		keyBuf = s.Alert.AppendDedupKey(keyBuf)
+		key := string(keyBuf)
 		sh := h.shardOf(s.User)
 		lane := h.laneFor(sh.id)
 		inBurst := false
@@ -983,13 +1002,22 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			continue
 		}
 		granted[p.sh.id]--
-		payload, err := p.a.MarshalText()
+		// Fill a pooled envelope and encode its wire form into
+		// envelope-owned storage; the group log copies the payload
+		// synchronously while staging, so the buffer is reusable the
+		// moment LogReceivedBatchStart returns.
+		env := getEnvelope()
+		env.fill(p.buddy, p.a, p.key, p.lane, now)
+		payload, err := env.alert.AppendWire(env.payload[:0])
 		if err != nil {
+			putEnvelope(env)
 			p.sh.release()
 			h.ctr.rejectedInvalid.Add1()
 			errs[p.idx] = err
 			continue
 		}
+		env.payload = payload
+		p.env = env
 		byLane[p.lane] = append(byLane[p.lane], plog.BatchEntry{Key: p.key, Payload: payload, At: now})
 		admitted = append(admitted, p)
 	}
@@ -1056,7 +1084,8 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			continue
 		}
 		h.ctr.received.Add1()
-		p.sh.enqueue(envelope{buddy: p.buddy, alert: p.a.Clone(), key: p.key, lane: p.lane, at: acked})
+		p.env.at = acked // latency measures ack → processed
+		p.sh.enqueue(p.env)
 	}
 	return errs
 }
@@ -1068,7 +1097,7 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 func (h *Hub) run(sh *shard) {
 	defer h.loops.Done()
 	var (
-		batch   = make([]envelope, 0, h.cfg.RouteBatch)
+		batch   = make([]*envelope, 0, h.cfg.RouteBatch)
 		scratch routeScratch
 	)
 	for {
@@ -1108,9 +1137,9 @@ func (h *Hub) run(sh *shard) {
 
 // routeScratch is a shard loop's reusable batch-routing buffers.
 type routeScratch struct {
-	finished []envelope    // reject/filter verdicts awaiting a batched DONE
-	keys     []string      // finished WAL keys, parallel to finished
-	jobs     []deliveryJob // routed alerts awaiting delivery handoff
+	finished []*envelope // reject/filter verdicts awaiting a batched DONE
+	keys     []string    // finished WAL keys, parallel to finished
+	jobs     []*envelope // routed envelopes awaiting delivery handoff
 }
 
 // processBatch is the routing stage: evaluate each envelope's tenant
@@ -1120,7 +1149,7 @@ type routeScratch struct {
 // the delivery stage under a single submit lock acquisition. The shard
 // loop never calls into delivery substrates, so a slow delivery stalls
 // only its own user's chain — not every tenant hashed to the shard.
-func (h *Hub) processBatch(sh *shard, envs []envelope, scr *routeScratch) {
+func (h *Hub) processBatch(sh *shard, envs []*envelope, scr *routeScratch) {
 	scr.finished = scr.finished[:0]
 	scr.keys = scr.keys[:0]
 	scr.jobs = scr.jobs[:0]
@@ -1128,7 +1157,7 @@ func (h *Hub) processBatch(sh *shard, envs []envelope, scr *routeScratch) {
 		dequeued := h.cfg.Clock.Now()
 		h.queueWait.Observe(dequeued.Sub(env.at))
 		b := env.buddy
-		category, verdict := b.pipe.Evaluate(env.alert, dequeued)
+		category, verdict := b.pipe.Evaluate(&env.alert, dequeued)
 		h.routeLat.Observe(h.cfg.Clock.Since(dequeued))
 		switch verdict {
 		case mab.VerdictReject:
@@ -1142,14 +1171,16 @@ func (h *Hub) processBatch(sh *shard, envs []envelope, scr *routeScratch) {
 			scr.finished = append(scr.finished, env)
 			scr.keys = append(scr.keys, env.key)
 		default:
-			// Reuse the submit-time copy instead of a second Clone: the
-			// envelope's alert is private to the hub, and the routing
-			// category annotation is exactly what the clone carried.
-			routed := env.alert
-			routed.Keywords = []string{category}
+			// Annotate the envelope's inline alert in place: the routed
+			// category replaces the submit-time keywords, backed by the
+			// envelope-owned one-element array — no per-alert slice.
+			env.kw[0] = category
+			env.alert.Keywords = env.kw[:1]
+			env.category = category
+			env.handed = h.cfg.Clock.Now()
 			b.routed.Add(1)
 			h.ctr.routed.Add1()
-			scr.jobs = append(scr.jobs, deliveryJob{env: env, routed: routed, category: category, handed: h.cfg.Clock.Now()})
+			scr.jobs = append(scr.jobs, env)
 		}
 	}
 	if len(scr.finished) > 0 {
@@ -1165,7 +1196,7 @@ func (h *Hub) processBatch(sh *shard, envs []envelope, scr *routeScratch) {
 // release the admission slots. Losing an unflushed DONE only causes a
 // replay, which the dedup contract covers; Drain/Close still flush
 // every staged record.
-func (h *Hub) finishBatch(sh *shard, envs []envelope, keys []string) {
+func (h *Hub) finishBatch(sh *shard, envs []*envelope, keys []string) {
 	now := h.cfg.Clock.Now()
 	// A shard's fresh traffic all lives in one lane, so the common case
 	// stages the whole batch there in one call; mixed lanes appear only
@@ -1198,6 +1229,7 @@ func (h *Hub) finishBatch(sh *shard, envs []envelope, keys []string) {
 		}
 		h.latency.Observe(done.Sub(env.at))
 		sh.release()
+		putEnvelope(env) // DONE staged on the home lane, slot released: recycle
 	}
 }
 

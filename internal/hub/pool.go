@@ -1,0 +1,129 @@
+package hub
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simba/internal/alert"
+)
+
+// envelope is one admitted alert riding the hub, pooled and recycled.
+// An envelope is born in SubmitBatch (or replay), crosses the shard
+// queue, and either finishes on the shard loop (reject/filter verdict)
+// or becomes the delivery stage's job — the routed category, handoff
+// time, and per-user FIFO link live inline, so routing hands delivery
+// a pointer instead of building a separate job value.
+//
+// Lifecycle/recycling contract: an envelope returns to the pool only
+// after its WAL DONE record has been staged on its home lane and its
+// admission slot released — the one point where no other component can
+// still reach it. Abandoned envelopes (kill, crash injection, failed
+// outbox handoff that leaves the WAL entry live) are NOT recycled; the
+// pool is best-effort and the GC reclaims them. The alert value, its
+// keyword backing, and the wire-form payload are envelope-owned
+// storage, reused across recycles so the steady-state ingest path
+// allocates nothing per alert.
+type envelope struct {
+	buddy *Buddy
+	// alert is inline storage for the submitted alert. Its Keywords
+	// alias the envelope's kwbuf (after fill) or kw (after routing) —
+	// never the submitter's slice.
+	alert alert.Alert
+	key   string
+	lane  int       // WAL lane owning the RECV record (its DONE goes there too)
+	at    time.Time // admission time, for end-to-end latency
+
+	// Delivery-stage fields, valid once the shard loop routes the
+	// envelope.
+	category string    // routing category, selects the tenant's subscribed delivery mode
+	handed   time.Time // when routing handed the job off, for the deliver-stage latency split
+
+	// Envelope-owned reusable storage.
+	payload []byte    // wire form: the submitted alert at ingest, the routed alert during delivery
+	kwbuf   []string  // backing for alert.Keywords (submitter copy)
+	kw      [1]string // backing for the routed-category annotation
+
+	// next links the envelope into its user's delivery FIFO chain (and
+	// into nothing otherwise). Owned by the delivery stage's lock.
+	next *envelope
+}
+
+// envPool recycles envelopes across the whole process; sync.Pool's
+// per-P caches keep Get/Put off any shared lock on the hot path.
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+// poolPoison, when set, scribbles on every recycled envelope so any
+// use-after-recycle reads obvious garbage instead of stale-but-valid
+// data. Test instrumentation only — see SetPoolPoison.
+var poolPoison atomic.Bool
+
+// SetPoolPoison toggles reuse-poisoning of recycled envelopes (and the
+// delivery stages' timer-wheel nodes of hubs built while on). Tests
+// enable it to turn silent pooling bugs into loud ones; never enable it
+// in production — it burns cycles on every recycle.
+func SetPoolPoison(on bool) { poolPoison.Store(on) }
+
+// poisonSentinel marks every string field of a poisoned envelope.
+const poisonSentinel = "POISONED-RECYCLED-ENVELOPE"
+
+// getEnvelope takes a (possibly recycled) envelope from the pool. The
+// caller must fill every semantic field; the env-owned buffers keep
+// their capacity.
+func getEnvelope() *envelope {
+	e := envPool.Get().(*envelope)
+	e.next = nil
+	return e
+}
+
+// fill initializes a pooled envelope for one admitted alert, copying
+// the alert by value and its keywords into envelope-owned backing so no
+// submitter-owned memory is aliased after SubmitBatch returns.
+func (e *envelope) fill(b *Buddy, a *alert.Alert, key string, lane int, at time.Time) {
+	e.buddy = b
+	e.alert = *a
+	e.kwbuf = append(e.kwbuf[:0], a.Keywords...)
+	e.alert.Keywords = e.kwbuf
+	e.key = key
+	e.lane = lane
+	e.at = at
+	e.category = ""
+	e.handed = time.Time{}
+	e.next = nil
+}
+
+// putEnvelope recycles an envelope. Only call once the envelope's DONE
+// record is staged and nothing can reach it anymore.
+func putEnvelope(e *envelope) {
+	if poolPoison.Load() {
+		e.poison()
+	}
+	e.buddy = nil
+	e.next = nil
+	envPool.Put(e)
+}
+
+// poison scribbles recognizable garbage over every field a stale reader
+// could consume, while preserving the reusable buffers' capacity.
+func (e *envelope) poison() {
+	for i := range e.payload {
+		e.payload[i] = 0xDB
+	}
+	for i := range e.kwbuf {
+		e.kwbuf[i] = poisonSentinel
+	}
+	e.alert = alert.Alert{
+		ID:      poisonSentinel,
+		Source:  poisonSentinel,
+		Subject: poisonSentinel,
+		Body:    poisonSentinel,
+		Urgency: -1,
+		Created: time.Unix(-1<<40, 0),
+	}
+	e.key = poisonSentinel
+	e.category = poisonSentinel
+	e.kw[0] = poisonSentinel
+	e.lane = -1 << 20
+	e.at = time.Unix(-1<<40, 0)
+	e.handed = time.Unix(-1<<40, 0)
+}

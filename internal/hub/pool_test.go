@@ -1,0 +1,237 @@
+package hub
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/clock"
+	"simba/internal/dist"
+	"simba/internal/faults"
+	"simba/internal/race"
+)
+
+// TestHubPlanZeroAllocs pins the per-delivery plan resolution for
+// profile-less tenants at zero allocations: every delivery attempt
+// calls plan, and the flat path is the benchmark's steady state.
+func TestHubPlanZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc accounting is not meaningful under the race detector")
+	}
+	h := newTestHub(t, Config{Sink: FuncSink(func(int, string, *alert.Alert) error { return nil })})
+	b, err := h.AddUser("user-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		reg, mode, _ := h.plan(b, "Investment")
+		if reg == nil || mode == nil {
+			t.Fatal("plan returned nil flat plan")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Hub.plan (flat) allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// usersMapSize sums the delivery stages' per-user chain map sizes.
+func usersMapSize(h *Hub) int {
+	n := 0
+	for _, sh := range h.shards {
+		sh.delivery.mu.Lock()
+		n += len(sh.delivery.users)
+		sh.delivery.mu.Unlock()
+	}
+	return n
+}
+
+// TestDeliveryUsersMapDrains is the regression test for the unbounded
+// users map: a churn of one-shot tenants must leave the delivery
+// stages' chain maps empty once their deliveries finish — entries are
+// deleted when a worker drains its chain, not retained forever.
+func TestDeliveryUsersMapDrains(t *testing.T) {
+	const users = 200
+	sink := NewSimSink(dist.NewRNG(11), 4, nil, 0)
+	h := newTestHub(t, Config{Sink: sink, Shards: 4, QueueDepth: 256})
+	addUsers(t, h, users)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk := h.cfg.Clock
+	for i := 0; i < users; i++ {
+		if err := h.Submit(fmt.Sprintf("user-%d", i), portalAlert(i, clk.Now())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Delivered(); got != users {
+		t.Fatalf("delivered %d, want %d", got, users)
+	}
+	if n := usersMapSize(h); n != 0 {
+		t.Fatalf("delivery users maps retain %d entries after drain, want 0", n)
+	}
+}
+
+// TestDeliveryUsersMapDrainsOnKill pins the kill path: a worker that
+// abandons its chain because the hub died must still delete its map
+// entry — a crash mid-backlog cannot strand tenants in the map of a
+// hub object the caller may keep inspecting.
+func TestDeliveryUsersMapDrainsOnKill(t *testing.T) {
+	const users, perUser = 8, 4
+	hold := make(chan struct{})
+	sink := newCountingSink(hold)
+	h, err := New(Config{
+		Clock: clock.NewReal(), Sink: sink,
+		WALPath: filepath.Join(t.TempDir(), "hub.wal"),
+		Shards:  2, QueueDepth: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h, users)
+	clk := h.cfg.Clock
+	for i := 0; i < users*perUser; i++ {
+		if err := h.Submit(fmt.Sprintf("user-%d", i%users), portalAlert(i, clk.Now())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every user's first delivery is parked inside the sink; the rest of
+	// each chain is queued behind it. Kill, release the parked workers,
+	// and the workers must clean their map entries on the way out.
+	sink.waitArrivals(t, users)
+	h.Kill()
+	close(hold)
+	select {
+	case <-h.Stopped():
+	case <-time.After(10 * time.Second):
+		t.Fatal("hub did not stop after Kill")
+	}
+	if n := usersMapSize(h); n != 0 {
+		t.Fatalf("delivery users maps retain %d entries after kill, want 0", n)
+	}
+}
+
+// poisonCheckSink validates every delivered alert against the pool's
+// poison markers: a delivery observing a scribbled envelope means a
+// pooled object was recycled while still reachable.
+type poisonCheckSink struct {
+	t  *testing.T
+	mu sync.Mutex
+	n  int
+}
+
+func (s *poisonCheckSink) Deliver(shard int, user string, a *alert.Alert) error {
+	if strings.Contains(a.ID, poisonSentinel) || strings.Contains(a.Source, poisonSentinel) ||
+		strings.Contains(a.Subject, poisonSentinel) || strings.Contains(a.Body, poisonSentinel) {
+		s.t.Errorf("delivered a poisoned (recycled) envelope: %+v", *a)
+	}
+	if a.Created.Year() < 1900 {
+		s.t.Errorf("delivered alert with poisoned timestamp %v", a.Created)
+	}
+	for _, kw := range a.Keywords {
+		if kw == poisonSentinel {
+			s.t.Errorf("delivered alert with poisoned keyword")
+		}
+	}
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// TestPooledRecyclingCrashReplayPoisoned interleaves pooled-envelope
+// recycling with kill/replay cycles under reuse poisoning: concurrent
+// batched submitters race a mid-flight crash, the next incarnation
+// replays the WAL tail through the same pools, and every delivered
+// alert is checked for poison scribbles. Run with -race, this is the
+// suite's use-after-recycle detector.
+func TestPooledRecyclingCrashReplayPoisoned(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	const users, perUser, submitters = 16, 8, 4
+	walPath := filepath.Join(t.TempDir(), "hub.wal")
+	clk := clock.NewReal()
+	sink := &poisonCheckSink{t: t}
+	crash := faults.NewFlag("pool-crash")
+	cfg := Config{
+		Clock: clk, Sink: sink, WALPath: walPath,
+		Shards: 4, QueueDepth: 512,
+		CrashBeforeMark: crash,
+	}
+
+	submitRange := func(h *Hub, lo, hi int) {
+		var wg sync.WaitGroup
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				batch := make([]Submission, 0, perUser)
+				for u := lo + w; u < hi; u += submitters {
+					batch = batch[:0]
+					user := fmt.Sprintf("user-%d", u)
+					for i := 0; i < perUser; i++ {
+						batch = append(batch, Submission{User: user, Alert: portalAlert(u*perUser+i, clk.Now())})
+					}
+					// NACKs (kill racing the batch) are expected; the
+					// surviving WAL entries replay next incarnation.
+					h.SubmitBatch(batch)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Incarnation 1: submit half the workload, arm the crash, then race
+	// the second half against it — the first post-arm delivery that
+	// completes kills the hub while recycling is in full swing.
+	h1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h1, users)
+	if err := h1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	submitRange(h1, 0, users/2)
+	crash.Set(true, clk.Now())
+	submitRange(h1, users/2, users)
+	select {
+	case <-h1.Stopped():
+	case <-time.After(10 * time.Second):
+		t.Fatal("hub did not die after the crash flag was armed")
+	}
+
+	// Incarnation 2: replay the WAL tail through fresh (but
+	// pool-sharing) hub machinery, then run the rest of the workload
+	// cleanly and drain.
+	crash.Set(false, clk.Now())
+	h2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h2, users)
+	if err := h2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	submitRange(h2, 0, users) // duplicates of incarnation 1's workload re-ack
+	if err := h2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.mu.Lock()
+	delivered := sink.n
+	sink.mu.Unlock()
+	if delivered < users*perUser {
+		t.Fatalf("delivered %d alerts across incarnations, want at least %d", delivered, users*perUser)
+	}
+}

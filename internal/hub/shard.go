@@ -5,18 +5,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"simba/internal/alert"
 	"simba/internal/dist"
 )
-
-// envelope is one admitted alert riding a shard queue.
-type envelope struct {
-	buddy *Buddy
-	alert *alert.Alert
-	key   string
-	lane  int       // WAL lane owning the RECV record (its DONE goes there too)
-	at    time.Time // admission time, for end-to-end latency
-}
 
 // shard owns a single-goroutine event loop and a bounded inbound
 // queue. depth counts admitted-but-unfinished alerts (queued plus the
@@ -26,7 +16,7 @@ type envelope struct {
 type shard struct {
 	id  int
 	cap int64
-	q   chan envelope
+	q   chan *envelope
 	rng *dist.RNG // forked per shard; simulated substrates draw from it
 
 	// delivery is the shard's asynchronous delivery stage: the loop
@@ -44,7 +34,7 @@ func newShard(id, queueDepth int, rng *dist.RNG) *shard {
 	return &shard{
 		id:  id,
 		cap: int64(queueDepth),
-		q:   make(chan envelope, queueDepth),
+		q:   make(chan *envelope, queueDepth),
 		rng: rng,
 	}
 }
@@ -108,7 +98,7 @@ func (s *shard) notePeak(d int64) {
 // enqueue hands an admitted envelope to the loop. The caller must hold
 // a reservation, so the buffered send cannot block; the read lock
 // fences against close so a graceful drain never races a send.
-func (s *shard) enqueue(env envelope) {
+func (s *shard) enqueue(env *envelope) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {

@@ -107,7 +107,13 @@ func (s *SimSink) Deliver(shard int, user string, a *alert.Alert) error {
 		s.dropped.Add(1)
 		return fmt.Errorf("hub: simulated delivery failure for %s", user)
 	}
-	key := user + keySep + a.DedupKey()
+	// Build the audit key with one string conversion (the map key must
+	// be a durable string, but DedupKey + concat would cost three).
+	var kb [96]byte
+	buf := append(kb[:0], user...)
+	buf = append(buf, keySep...)
+	buf = a.AppendDedupKey(buf)
+	key := string(buf)
 	st := s.stripeOf(key)
 	st.mu.Lock()
 	st.perKey[key]++

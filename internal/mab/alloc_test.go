@@ -1,0 +1,37 @@
+package mab
+
+import (
+	"testing"
+	"time"
+
+	"simba/internal/alert"
+	"simba/internal/race"
+)
+
+// TestPipelineEvaluateZeroAllocs pins the per-alert routing decision at
+// zero allocations: classify → aggregate → filter runs on every shard
+// loop iteration, so a single stray allocation here multiplies by the
+// whole ingest volume.
+func TestPipelineEvaluateZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc accounting is not meaningful under the race detector")
+	}
+	p := NewPipeline()
+	p.Classifier.Accept(SourceRule{Source: "portal", Extract: ExtractNative})
+	p.Aggregator.Map("stocks", "Investment")
+	a := &alert.Alert{
+		ID: "a-1", Source: "portal", Keywords: []string{"stocks"},
+		Subject: "quote", Body: "MSFT moved", Urgency: alert.UrgencyNormal,
+		Created: time.Unix(0, 1),
+	}
+	now := time.Unix(0, 2)
+	if cat, v := p.Evaluate(a, now); v != VerdictRoute || cat != "Investment" {
+		t.Fatalf("Evaluate = (%q, %v), want (Investment, route)", cat, v)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		p.Evaluate(a, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("Pipeline.Evaluate allocates %.1f objects per alert, want 0", allocs)
+	}
+}

@@ -45,7 +45,20 @@ type GroupLog struct {
 	failed   error // sticky: first batch-write failure poisons the log
 	done     chan struct{}
 	scratch  []byte // staging buffer reused across appends (guarded by mu)
+	// freeBufs recycles committed batches' encode buffers back into new
+	// batches (guarded by mu): the committer strips a batch's buf after
+	// its fsync — waiters only ever read err past done — so steady-state
+	// commit windows stop allocating a fresh multi-KB buffer each.
+	freeBufs [][]byte
 }
+
+// Free-list bounds: keep at most maxFreeBufs buffers, and never retain
+// one grown past maxFreeBufBytes by a burst — a transient spike must
+// not pin its high-water memory forever.
+const (
+	maxFreeBufs    = 8
+	maxFreeBufByte = 1 << 20
+)
 
 // GroupOptions tune the commit policy.
 type GroupOptions struct {
@@ -333,6 +346,11 @@ func (g *GroupLog) openBatchLocked() *groupBatch {
 		return g.queue[n-1]
 	}
 	b := &groupBatch{done: make(chan struct{})}
+	if n := len(g.freeBufs); n > 0 {
+		b.buf = g.freeBufs[n-1][:0]
+		g.freeBufs[n-1] = nil
+		g.freeBufs = g.freeBufs[:n-1]
+	}
 	g.queue = append(g.queue, b)
 	return b
 }
@@ -391,6 +409,15 @@ func (g *GroupLog) committer() {
 		g.flushing = nil
 		if err != nil && g.failed == nil {
 			g.failed = err
+		}
+		// Reclaim the written batches' encode buffers: waiters blocked on
+		// b.done only read b.err, so the buffers are free the moment the
+		// vectored append returns.
+		for _, b := range take {
+			if c := cap(b.buf); c > 0 && c <= maxFreeBufByte && len(g.freeBufs) < maxFreeBufs {
+				g.freeBufs = append(g.freeBufs, b.buf[:0])
+			}
+			b.buf = nil
 		}
 		g.mu.Unlock()
 		for _, b := range take {

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race exposes whether the race detector is compiled in, so
+// tests can relax allocation assertions that the detector perturbs
+// (sync.Pool intentionally drops puts under -race) while still running
+// the code paths for the race matrix.
+package race
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false
