@@ -396,16 +396,24 @@ func BenchmarkHubThroughput(b *testing.B) {
 func BenchmarkHubBatchIngest(b *testing.B) {
 	for _, lanes := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("lanes-%d", lanes), func(b *testing.B) {
-			benchHubBatchIngest(b, lanes)
+			benchHubBatchIngest(b, lanes, false)
 		})
 	}
+	// The supervised variant prices the self-management plane: watchdog
+	// probes and invariant checks read shard atomics only, never shard
+	// locks, so this must stay within noise of lanes-8.
+	b.Run("lanes-8-supervised", func(b *testing.B) {
+		benchHubBatchIngest(b, 8, true)
+	})
 }
 
 // benchHubBatchIngest runs the batched portal workload against an
 // 8-shard hub whose WAL is partitioned into the given number of lanes
 // (shard i stages on lane i%lanes), so the sweep isolates what
-// parallel group commit buys at equal shard count.
-func benchHubBatchIngest(b *testing.B, lanes int) {
+// parallel group commit buys at equal shard count. With supervised,
+// the full supervision plane (shard watchdog + invariant checks) runs
+// at its default cadence throughout the ingest.
+func benchHubBatchIngest(b *testing.B, lanes int, supervised bool) {
 	const users, alerts, submitters, burstSize = 1000, 20000, 128, 64
 	clk := clock.NewReal()
 	for i := 0; i < b.N; i++ {
@@ -433,6 +441,12 @@ func benchHubBatchIngest(b *testing.B, lanes int) {
 		}
 		if err := h.Start(); err != nil {
 			b.Fatal(err)
+		}
+		var sup *hub.Supervisor
+		if supervised {
+			if sup, err = h.Supervise(hub.SuperviseConfig{}); err != nil {
+				b.Fatal(err)
+			}
 		}
 		b.StartTimer()
 		start := time.Now()
@@ -481,6 +495,9 @@ func benchHubBatchIngest(b *testing.B, lanes int) {
 			}(w)
 		}
 		wg.Wait()
+		if sup != nil {
+			sup.Stop()
+		}
 		if err := h.Drain(); err != nil {
 			b.Fatal(err)
 		}

@@ -50,6 +50,7 @@
 package main
 
 import (
+	"cmp"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,10 +70,13 @@ import (
 	"simba/internal/core"
 	"simba/internal/dist"
 	"simba/internal/dmode"
+	"simba/internal/faults"
 	"simba/internal/harness"
 	"simba/internal/hub"
+	"simba/internal/ops"
 	"simba/internal/im"
 	"simba/internal/mab"
+	"simba/internal/mdc"
 	"simba/internal/metrics"
 	"simba/internal/proxy"
 	"simba/internal/wish"
@@ -99,6 +103,10 @@ func main() {
 	outboxDir := flag.String("outbox-dir", "", "hub: directory for the guaranteed-tier retry outbox journal (default: the run's temp dir)")
 	outboxBackoff := flag.Duration("outbox-backoff", 50*time.Millisecond, "hub: base outbox redelivery backoff (doubles per round, capped)")
 	gcStats := flag.Bool("gc-stats", false, "hub: report heap allocations per alert and the GC pause histogram for the run")
+	adminAddr := flag.String("admin", "", "hub: serve the ops admin plane (healthz, shard health, tenant CRUD, rejuvenation) on this address (e.g. localhost:8025)")
+	probePeriod := flag.Duration("probe-period", 0, "hub: shard watchdog probe cadence (0 = 1s default; supervision starts when -admin, -probe-period, or -rejuvenate-every is set)")
+	rejuvenateEvery := flag.Duration("rejuvenate-every", 0, "hub: rolling shard rejuvenation period (0 = disabled)")
+	linger := flag.Duration("linger", 0, "hub: keep serving this long after the workload (for poking the admin plane)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -118,6 +126,8 @@ func main() {
 			burst: *burst, routeBatch: *routeBatch,
 			guaranteedFrac: *guaranteedFrac, outboxDir: *outboxDir, outboxBackoff: *outboxBackoff,
 			gcStats: *gcStats,
+			admin:   *adminAddr, probePeriod: *probePeriod, rejuvenateEvery: *rejuvenateEvery,
+			linger: *linger,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -255,6 +265,10 @@ type hubParams struct {
 	outboxDir                 string
 	outboxBackoff             time.Duration
 	gcStats                   bool
+	admin                     string
+	probePeriod               time.Duration
+	rejuvenateEvery           time.Duration
+	linger                    time.Duration
 }
 
 // runHub hosts N tenants behind a K-way sharded hub and drives a
@@ -322,10 +336,14 @@ func runHub(p hubParams) error {
 	} else if err := os.MkdirAll(outboxDir, 0o755); err != nil {
 		return fmt.Errorf("creating outbox dir: %w", err)
 	}
+	// A bounded journal: the watchdog, stabilizer, and replay paths all
+	// write here, and a lingering hub must not grow it without bound.
+	journal := faults.NewRing(4096)
 	h, err = hub.New(hub.Config{
 		Clock:              clk,
 		Sink:               sink,
 		Channels:           channels,
+		Journal:            journal,
 		AckTimeout:         p.ackTimeout,
 		WALPath:            filepath.Join(tmp, "hub.wal"),
 		Shards:             shards,
@@ -385,6 +403,36 @@ func runHub(p hubParams) error {
 	}
 	fmt.Printf("hub: hosting %d users on %d shards (queue depth %d, commit window %v, %d mode tenants, %d guaranteed-tier, ack timeout %v, outbox backoff %v)\n",
 		users, shards, hub.DefaultQueueDepth, p.window, modeUsers, guaranteedUsers, p.ackTimeout, p.outboxBackoff)
+
+	// Supervision plane: shard watchdog + invariant checks + optional
+	// rolling rejuvenation. On whenever any self-management flag asks
+	// for it, so a bare -hub run keeps the zero-overhead hot path.
+	var sup *hub.Supervisor
+	if p.admin != "" || p.probePeriod > 0 || p.rejuvenateEvery > 0 {
+		sup, err = h.Supervise(hub.SuperviseConfig{
+			ProbePeriod:     p.probePeriod,
+			RejuvenateEvery: p.rejuvenateEvery,
+			Journal:         journal,
+		})
+		if err != nil {
+			return err
+		}
+		defer sup.Stop()
+		fmt.Printf("supervision: probing %d shards every %v, rejuvenate-every %v\n",
+			shards, cmp.Or(p.probePeriod, mdc.DefaultUnitProbePeriod), p.rejuvenateEvery)
+	}
+	if p.admin != "" {
+		admin, err := ops.NewServer(ops.Config{Hub: h, Supervisor: sup})
+		if err != nil {
+			return err
+		}
+		bound, err := admin.Listen(p.admin)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Printf("admin: listening on http://%s (GET /healthz /shards /users, POST /rejuvenate /shards/{id}/restart, DELETE /users/{user})\n", bound)
+	}
 
 	workers := 32
 	if workers > alerts {
@@ -457,6 +505,16 @@ func runHub(p hubParams) error {
 		}(w)
 	}
 	wg.Wait()
+	if p.linger > 0 {
+		fmt.Printf("lingering %v for the admin plane...\n", p.linger)
+		time.Sleep(p.linger)
+	}
+	// Stop self-management before draining: a rejuvenation racing the
+	// drain would just fail against quiesced shards, but there is no
+	// reason to journal that noise.
+	if sup != nil {
+		sup.Stop()
+	}
 	if err := h.Drain(); err != nil {
 		return err
 	}
@@ -520,8 +578,23 @@ func runHub(p hubParams) error {
 			st.OutboxHandoffs, ob.Redelivered, ob.Rounds, ob.Escalated, ob.Dropped, ob.Pending)
 	}
 	for _, s := range st.Shards {
-		fmt.Printf("  shard %d: peak queue depth %d, peak in-flight deliveries %d\n",
-			s.Shard, s.PeakDepth, s.PeakInFlight)
+		fmt.Printf("  shard %d: gen %d (%d restarts, %d rejuvenations), peak queue depth %d, peak in-flight deliveries %d\n",
+			s.Shard, s.Generation, s.Restarts, s.Rejuvenations, s.PeakDepth, s.PeakInFlight)
+	}
+	if sup != nil {
+		fmt.Printf("supervision:\n")
+		fmt.Printf("  probe latency (µs): %s\n", sup.ProbeLatency())
+		fmt.Printf("  %-24s %8s %9s %9s %8s\n", "unit", "probes", "failures", "restarts", "errors")
+		for _, us := range sup.WatchdogStats() {
+			fmt.Printf("  %-24s %8d %9d %9d %8d\n", us.Name, us.Probes, us.Failures, us.Restarts, us.RestartErrors)
+		}
+		fmt.Printf("  %-24s %8s %9s %6s %12s\n", "invariant", "runs", "failures", "heals", "escalations")
+		for _, cs := range sup.InvariantStats() {
+			fmt.Printf("  %-24s %8d %9d %6d %12d\n", cs.Name, cs.Executions, cs.Failures, cs.Heals, cs.Escalations)
+		}
+		fmt.Printf("  journal: %d entries (%d rejuvenations, %d daemon restarts, %d unrecovered)\n",
+			journal.Len(), journal.Count(faults.KindRejuvenation),
+			journal.Count(faults.KindDaemonRestart), journal.Count(faults.KindUnrecovered))
 	}
 	if p.gcStats {
 		reportGCStats(&mem0, &mem1, alerts)

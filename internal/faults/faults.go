@@ -151,17 +151,56 @@ func (e Entry) String() string {
 	return fmt.Sprintf("%s %-17s %s", e.At.Format("2006-01-02 15:04:05"), e.Kind, e.Detail)
 }
 
-// Journal is a concurrency-safe, append-only record of fault and
-// recovery events. The zero value is ready to use.
+// Journal is a concurrency-safe record of fault and recovery events,
+// shared by every watchdog, stabilizer check, and recovery path in a
+// process. The zero value is ready to use and unbounded (append-only);
+// NewRing builds a bounded journal that retains only the most recent
+// entries while keeping exact all-time per-kind counts — the shape a
+// long-lived hub wants when N shard supervisors write to one journal
+// from concurrent goroutines.
 type Journal struct {
 	mu      sync.Mutex
 	entries []Entry
+	// Ring state: capacity 0 means unbounded. With a capacity, entries
+	// is a circular buffer and next is the slot the next Record takes.
+	capacity int
+	next     int
+	// All-time accounting, unaffected by ring eviction.
+	total   int64
+	dropped int64
+	counts  map[Kind]int64
 }
 
-// Record appends an entry.
+// NewRing returns a bounded journal retaining the most recent capacity
+// entries. Older entries are evicted (counted by Dropped), but Count
+// and Len keep exact all-time totals. capacity < 1 panics.
+func NewRing(capacity int) *Journal {
+	if capacity < 1 {
+		panic("faults: NewRing requires capacity >= 1")
+	}
+	return &Journal{capacity: capacity}
+}
+
+// Record appends an entry, evicting the oldest when a ring journal is
+// full.
 func (j *Journal) Record(at time.Time, kind Kind, detail string) {
+	e := Entry{At: at, Kind: kind, Detail: detail}
 	j.mu.Lock()
-	j.entries = append(j.entries, Entry{At: at, Kind: kind, Detail: detail})
+	if j.counts == nil {
+		j.counts = make(map[Kind]int64)
+	}
+	j.counts[kind]++
+	j.total++
+	if j.capacity > 0 && len(j.entries) == j.capacity {
+		j.entries[j.next] = e
+		j.next = (j.next + 1) % j.capacity
+		j.dropped++
+	} else {
+		j.entries = append(j.entries, e)
+		if j.capacity > 0 {
+			j.next = len(j.entries) % j.capacity
+		}
+	}
 	j.mu.Unlock()
 }
 
@@ -170,28 +209,38 @@ func (j *Journal) Recordf(at time.Time, kind Kind, format string, args ...any) {
 	j.Record(at, kind, fmt.Sprintf(format, args...))
 }
 
-// Entries returns a copy of all entries in append order.
+// Entries returns a copy of the retained entries in append order (for
+// a ring journal, the most recent capacity entries).
 func (j *Journal) Entries() []Entry {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return append([]Entry(nil), j.entries...)
+	if j.capacity == 0 || len(j.entries) < j.capacity {
+		return append([]Entry(nil), j.entries...)
+	}
+	out := make([]Entry, 0, len(j.entries))
+	out = append(out, j.entries[j.next:]...)
+	return append(out, j.entries[:j.next]...)
 }
 
-// Count returns the number of entries of the given kind.
+// Count returns the all-time number of entries of the given kind,
+// including any a ring journal has evicted.
 func (j *Journal) Count(kind Kind) int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	n := 0
-	for _, e := range j.entries {
-		if e.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return int(j.counts[kind])
 }
 
-// CountMatching returns the number of entries of kind whose detail
-// contains substr.
+// Dropped returns how many entries a ring journal has evicted (always
+// zero for an unbounded journal).
+func (j *Journal) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// CountMatching returns the number of retained entries of kind whose
+// detail contains substr (a ring journal cannot match against evicted
+// entries).
 func (j *Journal) CountMatching(kind Kind, substr string) int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -204,23 +253,23 @@ func (j *Journal) CountMatching(kind Kind, substr string) int {
 	return n
 }
 
-// Len returns the total number of entries.
+// Len returns the all-time number of entries recorded, including any a
+// ring journal has evicted.
 func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.entries)
+	return int(j.total)
 }
 
 // Downtimes pairs fault-injected/fault-cleared entries whose detail
 // contains substr and returns the durations of the resulting windows.
-// Unclosed windows are ignored.
+// Unclosed windows are ignored; a ring journal pairs only retained
+// entries.
 func (j *Journal) Downtimes(substr string) []time.Duration {
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	var out []time.Duration
 	var openAt time.Time
 	open := false
-	for _, e := range j.entries {
+	for _, e := range j.Entries() {
 		if !strings.Contains(e.Detail, substr) {
 			continue
 		}

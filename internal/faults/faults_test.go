@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -138,6 +139,64 @@ func TestJournalConcurrent(t *testing.T) {
 	wg.Wait()
 	if j.Len() != 800 {
 		t.Fatalf("Len() = %d", j.Len())
+	}
+}
+
+func TestJournalRingEvictsOldestKeepsCounts(t *testing.T) {
+	j := NewRing(3)
+	for i := 0; i < 5; i++ {
+		j.Record(time.Unix(int64(i), 0), KindReplay, fmt.Sprintf("e%d", i))
+	}
+	entries := j.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(entries))
+	}
+	for i, e := range entries {
+		if want := fmt.Sprintf("e%d", i+2); e.Detail != want {
+			t.Fatalf("entry %d = %q, want %q (chronological order)", i, e.Detail, want)
+		}
+	}
+	if j.Len() != 5 {
+		t.Fatalf("Len() = %d, want all-time 5", j.Len())
+	}
+	if j.Count(KindReplay) != 5 {
+		t.Fatalf("Count(replay) = %d, want all-time 5", j.Count(KindReplay))
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", j.Dropped())
+	}
+	// CountMatching sees only retained entries, by contract.
+	if got := j.CountMatching(KindReplay, "e0"); got != 0 {
+		t.Fatalf("CountMatching found evicted entry %d times", got)
+	}
+}
+
+func TestJournalRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestJournalRingConcurrent(t *testing.T) {
+	j := NewRing(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				j.Record(time.Time{}, KindReplay, "x")
+				j.Entries()
+				j.Downtimes("x")
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 800 || len(j.Entries()) != 16 || j.Dropped() != 800-16 {
+		t.Fatalf("Len=%d retained=%d dropped=%d", j.Len(), len(j.Entries()), j.Dropped())
 	}
 }
 

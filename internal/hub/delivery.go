@@ -10,7 +10,6 @@ import (
 	"simba/internal/core"
 	"simba/internal/dist"
 	"simba/internal/faults"
-	"simba/internal/metrics"
 	"simba/internal/outbox"
 	"simba/internal/plog"
 	"simba/internal/timewheel"
@@ -48,6 +47,12 @@ type deliveryStage struct {
 	sh  *shard
 	rng *dist.RNG // forked per stage: backoff jitter never contends across shards
 
+	// killed is the owning generation's abandon signal. A hub-wide Kill
+	// closes every current generation, so the old single check still
+	// holds; a targeted shard restart closes only this stage's, so
+	// sibling shards' workers never notice.
+	killed <-chan struct{}
+
 	// wheel multiplexes the stage's retry backoffs and its workers' ack
 	// waits onto one clock timer (pooled nodes, no per-wait allocation).
 	wheel *timewheel.Wheel
@@ -57,10 +62,9 @@ type deliveryStage struct {
 	scratch sync.Pool
 
 	// window bounds concurrently executing deliveries (not queued work,
-	// which the shard's admission depth already bounds).
+	// which the shard's admission depth already bounds). The in-flight
+	// gauge lives on the shard so its peak survives generation swaps.
 	window chan struct{}
-
-	inflight metrics.Gauge
 
 	mu    sync.Mutex
 	users map[string]*userQueue
@@ -76,11 +80,12 @@ type userSpawn struct {
 	q    *userQueue
 }
 
-func newDeliveryStage(h *Hub, sh *shard) *deliveryStage {
+func newDeliveryStage(h *Hub, sh *shard, killed <-chan struct{}) *deliveryStage {
 	d := &deliveryStage{
 		h:      h,
 		sh:     sh,
 		rng:    sh.rng.Fork("delivery"),
+		killed: killed,
 		wheel:  timewheel.New(h.cfg.Clock, timewheel.Options{Poison: poolPoison.Load()}),
 		window: make(chan struct{}, h.cfg.DeliveryWindow),
 		users:  make(map[string]*userQueue),
@@ -151,8 +156,10 @@ func (d *deliveryStage) runUser(user string, q *userQueue) {
 		d.mu.Unlock()
 		env.next = nil
 		if !d.acquire() {
-			// Killed: the undone entries replay from the WAL. Still
-			// drop the map entry so a kill mid-backlog cannot strand it.
+			// Generation killed: the undone entries replay from the WAL
+			// (into this shard's next generation, or the next process
+			// incarnation). Still drop the map entry so a kill
+			// mid-backlog cannot strand it.
 			d.mu.Lock()
 			delete(d.users, user)
 			d.mu.Unlock()
@@ -160,34 +167,36 @@ func (d *deliveryStage) runUser(user string, q *userQueue) {
 		}
 		d.perform(env, scr)
 		d.release()
+		d.sh.beat(d.h.cfg.Clock.Now())
 	}
 }
 
-// acquire claims one in-flight slot, honoring a kill both before and
-// after the wait so a crashed hub stops deterministically.
+// acquire claims one in-flight slot, honoring the generation's kill
+// both before and after the wait so an abandoned stage stops
+// deterministically.
 func (d *deliveryStage) acquire() bool {
 	select {
-	case <-d.h.killed:
+	case <-d.killed:
 		return false
 	default:
 	}
 	select {
-	case <-d.h.killed:
+	case <-d.killed:
 		return false
 	case d.window <- struct{}{}:
 	}
 	select {
-	case <-d.h.killed:
+	case <-d.killed:
 		<-d.window
 		return false
 	default:
 	}
-	d.inflight.Inc()
+	d.sh.inflight.Inc()
 	return true
 }
 
 func (d *deliveryStage) release() {
-	d.inflight.Dec()
+	d.sh.inflight.Dec()
 	<-d.window
 }
 
@@ -308,7 +317,7 @@ func (d *deliveryStage) handoff(env *envelope, attempts int) bool {
 // number, capped, with multiplicative jitter from the stage's forked
 // RNG so colliding retries across tenants decorrelate. The wait rides
 // the stage's timer wheel — a pooled node, not a fresh clock timer.
-// Returns false if the hub was killed during the wait.
+// Returns false if the stage's generation was killed during the wait.
 func (d *deliveryStage) backoff(attempt int) bool {
 	h := d.h
 	delay := h.cfg.DeliveryBackoff
@@ -322,7 +331,7 @@ func (d *deliveryStage) backoff(attempt int) bool {
 	delay = delay/2 + time.Duration(d.rng.Float64()*float64(delay/2))
 	t := d.wheel.After(delay)
 	select {
-	case <-h.killed:
+	case <-d.killed:
 		d.wheel.Release(t)
 		return false
 	case <-t.C():

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,12 @@ const (
 	// drains per wakeup, amortizing per-alert WAL staging and delivery
 	// handoff costs across the drained batch.
 	DefaultRouteBatch = 64
+	// DefaultQuiesceTimeout bounds how long a graceful shard
+	// rejuvenation waits for the shard's admitted work to drain before
+	// escalating to a kill+replay restart; it also bounds how long a
+	// kill+replay restart waits for the abandoned generation's loop and
+	// delivery workers to stop before scanning the WAL.
+	DefaultQuiesceTimeout = 5 * time.Second
 )
 
 // keySep joins the tenant ID and the alert's dedup key inside WAL
@@ -269,6 +276,18 @@ type Config struct {
 	// — the window where alerts are acknowledged yet not routed, which
 	// the next incarnation must cover by replay. Optional.
 	CrashAfterBatchFsync *faults.Flag
+	// RouteHook, when set, runs at the top of every shard-loop routing
+	// batch, before any envelope is touched, with the shard ID and the
+	// running generation's kill signal. It exists for fault injection —
+	// a hook that blocks wedges the shard exactly where a stuck
+	// pipeline stage would, and observing killed lets the wedge clear
+	// when the supervisor kills the generation. Optional.
+	RouteHook func(shard int, killed <-chan struct{})
+	// QuiesceTimeout bounds a graceful rejuvenation's drain wait (after
+	// which it escalates to kill+replay) and a restart's wait for the
+	// abandoned generation to stop (after which the WAL scan proceeds
+	// anyway). Zero means DefaultQuiesceTimeout.
+	QuiesceTimeout time.Duration
 }
 
 // Buddy is one hosted tenant: the per-user MyAlertBuddy pipeline
@@ -459,7 +478,6 @@ type Hub struct {
 	stopOnce  sync.Once
 	stopped   chan struct{}
 	closeErr  error
-	loops     sync.WaitGroup
 
 	counters *metrics.CounterSet
 	// Hot-path counter handles, resolved once in New: bumping one is a
@@ -532,6 +550,9 @@ func New(cfg Config) (*Hub, error) {
 	}
 	if cfg.RouteBatch <= 0 {
 		cfg.RouteBatch = DefaultRouteBatch
+	}
+	if cfg.QuiesceTimeout <= 0 {
+		cfg.QuiesceTimeout = DefaultQuiesceTimeout
 	}
 	switch {
 	case cfg.WALCheckpointEvery == 0:
@@ -614,9 +635,10 @@ func New(cfg Config) (*Hub, error) {
 	}
 	h.shards = make([]*shard, cfg.Shards)
 	for i := range h.shards {
-		sh := newShard(i, cfg.QueueDepth, cfg.RNG.Fork(fmt.Sprintf("hub-shard-%d", i)))
-		sh.delivery = newDeliveryStage(h, sh)
-		h.shards[i] = sh
+		// The shard's generation 1 — queue, loop latches, delivery stage
+		// — is built by Start; the shard itself carries only what
+		// survives restarts.
+		h.shards[i] = newShard(i, cfg.QueueDepth, cfg.RNG.Fork(fmt.Sprintf("hub-shard-%d", i)))
 	}
 	if cfg.OutboxPath != "" {
 		ob, err := outbox.Open(outbox.Options{
@@ -761,8 +783,14 @@ func (h *Hub) Start() error {
 	h.started = true
 	h.mu.Unlock()
 	for _, sh := range h.shards {
-		h.loops.Add(1)
-		go h.run(sh)
+		g := h.openGen(sh, 1, nil)
+		sh.mu.Lock()
+		sh.cur = g
+		sh.mu.Unlock()
+		sh.gen.Store(1)
+		sh.beat(h.cfg.Clock.Now())
+		sh.setState(ShardRunning)
+		go h.runLoop(sh, g)
 	}
 	if h.outbox != nil {
 		if err := h.outbox.Start(h.redeliver); err != nil {
@@ -1090,29 +1118,40 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 	return errs
 }
 
-// run is one shard's event loop: drain up to Config.RouteBatch queued
-// envelopes per wakeup and route them as a batch, so WAL DONE staging
-// and delivery handoff amortize their lock round-trips across the
-// drained burst.
-func (h *Hub) run(sh *shard) {
-	defer h.loops.Done()
+// openGen builds one shard generation: fresh queue and latches plus a
+// fresh delivery stage bound to the generation's kill signal. The
+// caller publishes it under sh.mu and launches runLoop.
+func (h *Hub) openGen(sh *shard, n int64, suppress map[string]struct{}) *shardGen {
+	g := sh.newGen(n, suppress)
+	g.delivery = newDeliveryStage(h, sh, g.killed)
+	return g
+}
+
+// runLoop is one shard generation's event loop: drain up to
+// Config.RouteBatch queued envelopes per wakeup and route them as a
+// batch, so WAL DONE staging and delivery handoff amortize their lock
+// round-trips across the drained burst. The loop owns its generation's
+// queue — never the shard's current one — so a restart's generation
+// swap can never redirect a live loop onto a queue it does not own.
+func (h *Hub) runLoop(sh *shard, g *shardGen) {
+	defer close(g.done)
 	var (
 		batch   = make([]*envelope, 0, h.cfg.RouteBatch)
 		scratch routeScratch
 	)
 	for {
 		select {
-		case <-h.killed:
+		case <-g.killed:
 			return
-		case env, ok := <-sh.q:
+		case env, ok := <-g.q:
 			if !ok {
 				return
 			}
 			// A kill may have landed while this envelope was ready;
-			// honor it before touching more work so a crashed hub stops
-			// deterministically.
+			// honor it before touching more work so a killed generation
+			// stops deterministically.
 			select {
-			case <-h.killed:
+			case <-g.killed:
 				return
 			default:
 			}
@@ -1120,7 +1159,7 @@ func (h *Hub) run(sh *shard) {
 			drained := true
 			for drained && len(batch) < h.cfg.RouteBatch {
 				select {
-				case env, ok := <-sh.q:
+				case env, ok := <-g.q:
 					if !ok {
 						drained = false // queue closed: route what we have, then exit
 						break
@@ -1130,7 +1169,7 @@ func (h *Hub) run(sh *shard) {
 					drained = false
 				}
 			}
-			h.processBatch(sh, batch, &scratch)
+			h.processBatch(sh, g, batch, &scratch)
 		}
 	}
 }
@@ -1149,7 +1188,21 @@ type routeScratch struct {
 // the delivery stage under a single submit lock acquisition. The shard
 // loop never calls into delivery substrates, so a slow delivery stalls
 // only its own user's chain — not every tenant hashed to the shard.
-func (h *Hub) processBatch(sh *shard, envs []*envelope, scr *routeScratch) {
+//
+// The fault hook and the kill check run before any envelope is
+// touched: a generation that wedges in the hook and is killed while
+// parked abandons the whole batch unprocessed — nothing marked,
+// nothing delivered — so the batch replays exactly once through the
+// replacement generation, never half-through both.
+func (h *Hub) processBatch(sh *shard, g *shardGen, envs []*envelope, scr *routeScratch) {
+	if hook := h.cfg.RouteHook; hook != nil {
+		hook(sh.id, g.killed)
+	}
+	select {
+	case <-g.killed:
+		return // abandoned: the WAL still owns every envelope in the batch
+	default:
+	}
 	scr.finished = scr.finished[:0]
 	scr.keys = scr.keys[:0]
 	scr.jobs = scr.jobs[:0]
@@ -1187,8 +1240,9 @@ func (h *Hub) processBatch(sh *shard, envs []*envelope, scr *routeScratch) {
 		h.finishBatch(sh, scr.finished, scr.keys)
 	}
 	if len(scr.jobs) > 0 {
-		sh.delivery.submitBatch(scr.jobs)
+		g.delivery.submitBatch(scr.jobs)
 	}
+	sh.beat(h.cfg.Clock.Now())
 }
 
 // finishBatch durably completes alerts that need no delivery: stage
@@ -1245,6 +1299,10 @@ func (h *Hub) Kill() {
 	h.killOnce.Do(func() {
 		h.accepting.Store(false)
 		close(h.killed)
+		for _, sh := range h.shards {
+			sh.setState(ShardStopped)
+			sh.killCurrent()
+		}
 		go h.shutdown()
 	})
 }
@@ -1258,7 +1316,15 @@ func (h *Hub) Stopped() <-chan struct{} { return h.stopped }
 // the WAL. Runs at most once.
 func (h *Hub) shutdown() {
 	h.stopOnce.Do(func() {
-		h.loops.Wait()
+		// Wait for each shard's CURRENT generation loop — not a global
+		// WaitGroup over every loop ever started — so a generation
+		// abandoned by an earlier targeted restart (possibly still
+		// wedged) cannot block the whole process's shutdown.
+		for _, sh := range h.shards {
+			if g := sh.current(); g != nil {
+				<-g.done
+			}
+		}
 		var outboxErr error
 		select {
 		case <-h.killed:
@@ -1279,7 +1345,9 @@ func (h *Hub) shutdown() {
 			// the stages must quiesce before the outbox closes). Still-
 			// pending envelopes stay durable for the next incarnation.
 			for _, sh := range h.shards {
-				sh.delivery.wg.Wait()
+				if g := sh.current(); g != nil {
+					g.delivery.wg.Wait()
+				}
 			}
 			if h.outbox != nil {
 				outboxErr = h.outbox.Close()
@@ -1293,15 +1361,297 @@ func (h *Hub) shutdown() {
 // Drain gracefully shuts the hub down: admission stops with
 // ErrNotAccepting, every shard finishes its queue, the delivery stages
 // complete their in-flight and chained deliveries, and the WAL is
-// flushed and closed.
+// flushed and closed. Taking each shard's lifecycle lock first means a
+// restart or rejuvenation in flight finishes (or aborts) before its
+// shard is closed — Drain never tears a generation swap in half.
 func (h *Hub) Drain() error {
 	h.accepting.Store(false)
 	for _, sh := range h.shards {
-		sh.close()
+		sh.lifeMu.Lock()
+		sh.setState(ShardStopped)
+		sh.closeIntake()
+		sh.lifeMu.Unlock()
 	}
 	h.shutdown()
 	<-h.stopped
 	return h.closeErr
+}
+
+// RestartShard kills shard id's current generation and brings up a
+// replacement that replays the shard's unprocessed WAL backlog, while
+// every other shard keeps serving — the targeted-recovery escalation
+// path for a wedged or misbehaving shard. Admission to the shard is
+// rejected (OverloadError) for the duration; senders ride it out with
+// their usual retry hint. reason lands in the fault journal.
+func (h *Hub) RestartShard(id int, reason string) error {
+	sh, err := h.shardByID(id)
+	if err != nil {
+		return err
+	}
+	sh.lifeMu.Lock()
+	defer sh.lifeMu.Unlock()
+	return h.restartLocked(sh, reason)
+}
+
+// restartLocked is the kill+replay restart; the caller holds
+// sh.lifeMu. Ordering is load-bearing:
+//
+//  1. Close admission (state Restarting) and kill the old generation.
+//  2. Wait (bounded) for the old loop and delivery workers to stop, so
+//     a straggler cannot mark a record processed after the scan below
+//     decided to replay it.
+//  3. Scan the WAL for the shard's unprocessed records. The scan also
+//     becomes the new generation's suppression set: a submitter that
+//     reserved before the kill and enqueues after the swap would
+//     otherwise double-route a record the replay owns.
+//  4. Publish the new generation, reset the admission gauge (abandoned
+//     reservations died with the old generation), start its loop.
+//  5. Re-enqueue the backlog, then reopen admission.
+func (h *Hub) restartLocked(sh *shard, reason string) error {
+	select {
+	case <-h.killed:
+		return ErrNotAccepting
+	default:
+	}
+	if st := sh.State(); st != ShardRunning && st != ShardQuiescing {
+		return fmt.Errorf("hub: shard %d not restartable in state %s", sh.id, st)
+	}
+	sh.setState(ShardRestarting)
+	old := sh.current()
+	old.kill()
+	h.journal(faults.KindDaemonRestart, "shard %d: killing generation %d: %s", sh.id, old.n, reason)
+
+	bounded := func(c <-chan struct{}) bool {
+		select {
+		case <-c:
+			return true
+		case <-time.After(h.cfg.QuiesceTimeout):
+			return false
+		}
+	}
+	loopStopped := bounded(old.done)
+	workers := make(chan struct{})
+	go func() { old.delivery.wg.Wait(); close(workers) }()
+	workersStopped := bounded(workers)
+	if !loopStopped || !workersStopped {
+		// A truly stuck goroutine (blocked inside a pipeline stage or a
+		// delivery substrate, deaf to the kill) is abandoned for good.
+		// If it later completes and marks a record the scan already
+		// replayed, the downstream timestamp dedup absorbs the
+		// duplicate — the documented contract for every crash window.
+		h.journal(faults.KindUnrecovered,
+			"shard %d: generation %d did not stop within %v (loop stopped: %v, workers stopped: %v); replaying anyway",
+			sh.id, old.n, h.cfg.QuiesceTimeout, loopStopped, workersStopped)
+	}
+
+	type replayRec struct {
+		b    *Buddy
+		a    alert.Alert
+		key  string
+		lane int
+	}
+	var backlog []replayRec
+	suppress := make(map[string]struct{})
+	for _, rec := range h.wal.Unprocessed() {
+		user, _, ok := strings.Cut(rec.Key, keySep)
+		if !ok {
+			continue // malformed key: shard unknown; next process restart tombstones it
+		}
+		if h.shardOf(user) != sh {
+			continue
+		}
+		lane := h.wal.Lane(rec.Lane)
+		b, hosted := h.buddy(user)
+		if !hosted {
+			h.journal(faults.KindReplay, "shard %d: tombstoning WAL entry for unhosted user %q", sh.id, user)
+			_ = lane.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			h.counters.Add1("tombstoned")
+			continue
+		}
+		r := replayRec{b: b, key: rec.Key, lane: rec.Lane}
+		if err := r.a.UnmarshalText(rec.Payload); err != nil {
+			h.journal(faults.KindReplay, "shard %d: tombstoning unparsable WAL entry %q: %v", sh.id, rec.Key, err)
+			_ = lane.MarkProcessed(rec.Key, h.cfg.Clock.Now())
+			h.counters.Add1("tombstoned")
+			continue
+		}
+		suppress[rec.Key] = struct{}{}
+		backlog = append(backlog, r)
+	}
+
+	next := h.openGen(sh, old.n+1, suppress)
+	sh.mu.Lock()
+	select {
+	case <-h.killed:
+		sh.mu.Unlock()
+		sh.setState(ShardStopped)
+		return ErrNotAccepting
+	default:
+	}
+	sh.cur = next
+	sh.mu.Unlock()
+	sh.gen.Store(next.n)
+	// Reservations admitted by the dead generation died with it; a
+	// straggler's release of one is floored at zero.
+	sh.depth.Store(0)
+	sh.beat(h.cfg.Clock.Now())
+	go h.runLoop(sh, next)
+
+	for i := range backlog {
+		r := &backlog[i]
+		h.journal(faults.KindReplay, "shard %d: replaying unprocessed alert %s for %s", sh.id, r.a.DedupKey(), r.b.user)
+		h.counters.Add1("replayed")
+		sh.reserveBlocking() // the new loop is live and draining, so this cannot wedge
+		env := getEnvelope()
+		env.fill(r.b, &r.a, r.key, r.lane, h.cfg.Clock.Now())
+		sh.enqueueReplay(env)
+	}
+	sh.restarts.Add(1)
+	select {
+	case <-h.killed:
+		sh.setState(ShardStopped)
+	default:
+		sh.setState(ShardRunning)
+	}
+	h.journal(faults.KindDaemonRestart, "shard %d: restarted as generation %d (%d replayed)", sh.id, next.n, len(backlog))
+	return nil
+}
+
+// RejuvenateShard gracefully recycles shard id: admission closes, the
+// admitted work drains to zero, and a fresh generation — new queue,
+// new delivery stage, new timer wheel — takes over with no replay and
+// no duplicate risk. Because nothing is admitted mid-swap, every
+// envelope completes in its original admission order, so per-user
+// delivery order is preserved exactly. A quiesce that exceeds
+// Config.QuiesceTimeout escalates to the kill+replay restart.
+func (h *Hub) RejuvenateShard(id int) error {
+	sh, err := h.shardByID(id)
+	if err != nil {
+		return err
+	}
+	sh.lifeMu.Lock()
+	defer sh.lifeMu.Unlock()
+	select {
+	case <-h.killed:
+		return ErrNotAccepting
+	default:
+	}
+	if st := sh.State(); st != ShardRunning {
+		return fmt.Errorf("hub: shard %d not rejuvenatable in state %s", sh.id, st)
+	}
+	sh.setState(ShardQuiescing)
+	// depth counts queued + in-delivery + mid-admission work, and
+	// Quiescing blocks new reservations, so zero means the shard is
+	// fully idle — nothing in the queue, no delivery in flight, no
+	// submitter between reservation and enqueue.
+	deadline := time.Now().Add(h.cfg.QuiesceTimeout)
+	for sh.depth.Load() > 0 {
+		if time.Now().After(deadline) {
+			h.journal(faults.KindRejuvenation,
+				"shard %d: quiesce timed out (depth %d); escalating to kill+replay",
+				sh.id, sh.depth.Load())
+			return h.restartLocked(sh, "rejuvenation quiesce timeout")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	old := sh.current()
+	next := h.openGen(sh, old.n+1, nil)
+	sh.mu.Lock()
+	select {
+	case <-h.killed:
+		sh.mu.Unlock()
+		sh.setState(ShardStopped)
+		return ErrNotAccepting
+	default:
+	}
+	old.closed = true
+	close(old.q)
+	sh.cur = next
+	sh.mu.Unlock()
+	sh.gen.Store(next.n)
+	// The old loop drains its empty queue and exits; its delivery stage
+	// is already idle. Retiring both before reopening admission keeps
+	// "one live generation per shard" unconditional on this path.
+	<-old.done
+	old.delivery.wg.Wait()
+	go h.runLoop(sh, next)
+	sh.beat(h.cfg.Clock.Now())
+	sh.rejuvenations.Add(1)
+	sh.setState(ShardRunning)
+	h.journal(faults.KindRejuvenation, "shard %d: rejuvenated as generation %d", sh.id, next.n)
+	return nil
+}
+
+// RejuvenateAll recycles every shard one at a time — rolling
+// rejuvenation under live traffic: at most one shard is quiescing at
+// any moment, so the hub never loses more than one shard's worth of
+// admission capacity.
+func (h *Hub) RejuvenateAll() error {
+	for _, sh := range h.shards {
+		if err := h.RejuvenateShard(sh.id); err != nil {
+			return fmt.Errorf("hub: rolling rejuvenation stopped at shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+func (h *Hub) shardByID(id int) (*shard, error) {
+	if id < 0 || id >= len(h.shards) {
+		return nil, fmt.Errorf("hub: no shard %d (have %d)", id, len(h.shards))
+	}
+	return h.shards[id], nil
+}
+
+// ShardCount returns the shard-table size.
+func (h *Hub) ShardCount() int { return len(h.shards) }
+
+// ShardHealth returns shard id's supervision snapshot. Reads atomics
+// only — safe to call against a wedged shard.
+func (h *Hub) ShardHealth(id int) (Health, error) {
+	sh, err := h.shardByID(id)
+	if err != nil {
+		return Health{}, err
+	}
+	return sh.health(), nil
+}
+
+// Healths snapshots every shard's supervision state (atomics only).
+func (h *Hub) Healths() []Health {
+	out := make([]Health, len(h.shards))
+	for i, sh := range h.shards {
+		out[i] = sh.health()
+	}
+	return out
+}
+
+// WALBacklog returns the lanes' live not-yet-processed record count —
+// the replay debt a restart would face right now.
+func (h *Hub) WALBacklog() int { return h.wal.Pending() }
+
+// RemoveUser unregisters a tenant. Alerts already admitted keep their
+// buddy reference and finish normally; later submissions fail with
+// ErrUnknownUser and unprocessed WAL entries for the user are
+// tombstoned at the next replay.
+func (h *Hub) RemoveUser(user string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.users[user]; !ok {
+		return fmt.Errorf("hub: remove %q: %w", user, ErrUnknownUser)
+	}
+	delete(h.users, user)
+	return nil
+}
+
+// UserNames returns the hosted tenant IDs, sorted.
+func (h *Hub) UserNames() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	names := make([]string, 0, len(h.users))
+	for u := range h.users {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Counters returns the hub-level counters: received, delivered, routed,
@@ -1342,6 +1692,14 @@ type ShardStat struct {
 	// in the shard's delivery stage (bounded by DeliveryWindow).
 	InFlight     int
 	PeakInFlight int
+	// State is the shard's lifecycle state; Generation counts the
+	// incarnations of its restartable machinery (1 = never recycled).
+	State      ShardState
+	Generation int64
+	// Restarts counts kill+replay recoveries; Rejuvenations counts
+	// graceful recycles.
+	Restarts      int64
+	Rejuvenations int64
 }
 
 // TierStat is one delivery QoS tier's outcome counters.
@@ -1430,14 +1788,18 @@ func (h *Hub) Stats() Stats {
 		s.MeanBatch = float64(s.Appends) / float64(s.Syncs)
 	}
 	for _, sh := range h.shards {
-		inflight := sh.delivery.inflight.Load()
+		inflight := sh.inflight.Load()
 		s.InFlight += inflight
 		s.Shards = append(s.Shards, ShardStat{
-			Shard:        sh.id,
-			Depth:        int(sh.depth.Load()),
-			PeakDepth:    int(sh.peak.Load()),
-			InFlight:     int(inflight),
-			PeakInFlight: int(sh.delivery.inflight.Peak()),
+			Shard:         sh.id,
+			Depth:         int(sh.depth.Load()),
+			PeakDepth:     int(sh.peak.Load()),
+			InFlight:      int(inflight),
+			PeakInFlight:  int(sh.inflight.Peak()),
+			State:         sh.State(),
+			Generation:    sh.gen.Load(),
+			Restarts:      sh.restarts.Load(),
+			Rejuvenations: sh.rejuvenations.Load(),
 		})
 	}
 	return s

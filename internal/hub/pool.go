@@ -47,6 +47,10 @@ type envelope struct {
 	// next links the envelope into its user's delivery FIFO chain (and
 	// into nothing otherwise). Owned by the delivery stage's lock.
 	next *envelope
+
+	// poisoned records that poison() ran at recycle, so the next
+	// getEnvelope knows to verify the marks survived the pool stay.
+	poisoned bool
 }
 
 // envPool recycles envelopes across the whole process; sync.Pool's
@@ -67,13 +71,43 @@ func SetPoolPoison(on bool) { poolPoison.Store(on) }
 // poisonSentinel marks every string field of a poisoned envelope.
 const poisonSentinel = "POISONED-RECYCLED-ENVELOPE"
 
+// poolPoisonHits counts recycled envelopes whose poison marks were
+// disturbed between putEnvelope and the next getEnvelope — hard
+// evidence of a use-after-recycle writer. Feeds the hub's pool-poison
+// stabilize invariant; only advances while poisoning is on.
+var poolPoisonHits atomic.Int64
+
+// PoolPoisonHits returns how many recycled envelopes came back from
+// the pool with their poison marks disturbed (use-after-recycle
+// detection; counts only while SetPoolPoison is on).
+func PoolPoisonHits() int64 { return poolPoisonHits.Load() }
+
 // getEnvelope takes a (possibly recycled) envelope from the pool. The
 // caller must fill every semantic field; the env-owned buffers keep
 // their capacity.
 func getEnvelope() *envelope {
 	e := envPool.Get().(*envelope)
+	if e.poisoned && !e.poisonIntact() {
+		// The envelope was poisoned at recycle but a stale reference
+		// wrote to it while pooled. Count it and discard the envelope —
+		// its buffers are suspect.
+		poolPoisonHits.Add(1)
+		e = new(envelope)
+	}
+	e.poisoned = false
 	e.next = nil
 	return e
+}
+
+// poisonIntact reports whether a previously-poisoned envelope's marks
+// survived its stay in the pool. Fresh envelopes (key == "") are never
+// checked.
+func (e *envelope) poisonIntact() bool {
+	return e.key == poisonSentinel &&
+		e.category == poisonSentinel &&
+		e.kw[0] == poisonSentinel &&
+		e.lane == -1<<20 &&
+		e.alert.ID == poisonSentinel
 }
 
 // fill initializes a pooled envelope for one admitted alert, copying
@@ -97,6 +131,7 @@ func (e *envelope) fill(b *Buddy, a *alert.Alert, key string, lane int, at time.
 func putEnvelope(e *envelope) {
 	if poolPoison.Load() {
 		e.poison()
+		e.poisoned = true
 	}
 	e.buddy = nil
 	e.next = nil

@@ -42,9 +42,13 @@ func TestHubPlanZeroAllocs(t *testing.T) {
 func usersMapSize(h *Hub) int {
 	n := 0
 	for _, sh := range h.shards {
-		sh.delivery.mu.Lock()
-		n += len(sh.delivery.users)
-		sh.delivery.mu.Unlock()
+		g := sh.current()
+		if g == nil {
+			continue
+		}
+		g.delivery.mu.Lock()
+		n += len(g.delivery.users)
+		g.delivery.mu.Unlock()
 	}
 	return n
 }

@@ -6,41 +6,221 @@ import (
 	"time"
 
 	"simba/internal/dist"
+	"simba/internal/metrics"
 )
+
+// ShardState is one shard's lifecycle state. A shard is the hub's unit
+// of recovery: it can be killed and replayed, or gracefully recycled,
+// while its siblings keep serving.
+type ShardState int32
+
+// Shard lifecycle states.
+const (
+	// ShardIdle: created, loop not yet launched.
+	ShardIdle ShardState = iota
+	// ShardRunning: loop live, admission open.
+	ShardRunning
+	// ShardQuiescing: admission closed, draining queued and in-flight
+	// work for a graceful rejuvenation.
+	ShardQuiescing
+	// ShardRestarting: the current generation was killed; the next one
+	// is replaying the shard's WAL backlog before admission reopens.
+	ShardRestarting
+	// ShardStopped: the hub is draining or killed; the shard will not
+	// run again in this process.
+	ShardStopped
+)
+
+// String renders the state for stats, journals, and the ops plane.
+func (s ShardState) String() string {
+	switch s {
+	case ShardIdle:
+		return "idle"
+	case ShardRunning:
+		return "running"
+	case ShardQuiescing:
+		return "quiescing"
+	case ShardRestarting:
+		return "restarting"
+	case ShardStopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// shardGen is one incarnation of a shard's restartable machinery: the
+// inbound queue, the kill signal, the loop-exit latch, and the delivery
+// stage. Killing a shard abandons its generation wholesale — a wedged
+// loop or a stuck delivery worker keeps the dead generation, while the
+// replacement generation gets fresh channels and a fresh stage, so the
+// two can never share a queue or a timer wheel.
+type shardGen struct {
+	n int64 // generation number, monotone per shard
+
+	q chan *envelope
+	// killed is closed to abandon the generation: the loop exits, the
+	// delivery workers stop between deliveries, and everything undone
+	// stays unprocessed in the WAL for replay. Hub-wide Kill closes the
+	// current generation of every shard; a targeted restart closes one.
+	killed   chan struct{}
+	killOnce sync.Once
+	// done is closed when the generation's loop goroutine has exited —
+	// the drain path waits on it instead of a process-wide WaitGroup so
+	// an abandoned (possibly wedged) old generation cannot block
+	// shutdown.
+	done chan struct{}
+
+	delivery *deliveryStage
+
+	// closed marks the queue closed for intake; guarded by shard.mu.
+	closed bool
+
+	// replaySuppress is the set of WAL keys this generation replayed at
+	// birth (kill+replay restart only; nil otherwise). A submitter that
+	// reserved a slot on the previous generation and enqueues after the
+	// swap would otherwise double-route an alert the replay already
+	// owns; enqueue drops those (the replayed copy delivers). The map is
+	// read-only after the generation is published — no lock needed — and
+	// can never suppress a legitimate later submission, because the WAL
+	// dedup (Has) re-acks any resubmission of a logged key without
+	// enqueueing it.
+	replaySuppress map[string]struct{}
+}
+
+// kill abandons the generation. Idempotent.
+func (g *shardGen) kill() {
+	g.killOnce.Do(func() { close(g.killed) })
+}
 
 // shard owns a single-goroutine event loop and a bounded inbound
 // queue. depth counts admitted-but-unfinished alerts (queued plus the
 // one being processed plus those mid-admission waiting on the WAL), so
 // reservation happens before the pessimistic log and a reserved slot
 // guarantees the later enqueue cannot block or drop.
+//
+// The loop, queue, and delivery stage live in the current shardGen;
+// the shard itself carries only what must survive a restart: the
+// admission gauge, the lifecycle state, the progress heartbeat, and
+// the restart counters.
 type shard struct {
 	id  int
 	cap int64
-	q   chan *envelope
 	rng *dist.RNG // forked per shard; simulated substrates draw from it
-
-	// delivery is the shard's asynchronous delivery stage: the loop
-	// routes, the stage delivers. Wired by Hub.New.
-	delivery *deliveryStage
 
 	depth atomic.Int64
 	peak  atomic.Int64
+	// inflight gauges the delivery stage's concurrently executing
+	// deliveries; it lives on the shard (not the stage) so the peak
+	// survives generation swaps.
+	inflight metrics.Gauge
 
-	mu     sync.RWMutex
-	closed bool
+	// Supervision-facing atomics: the health probe reads exactly these,
+	// never a lock — a probe of a wedged shard must not block behind the
+	// thing that wedged it.
+	state    atomic.Int32 // ShardState
+	gen      atomic.Int64 // current generation number
+	progress atomic.Int64 // unix nanos of the last loop/delivery progress beat
+
+	restarts      atomic.Int64 // kill+replay restarts
+	rejuvenations atomic.Int64 // graceful recycles
+
+	// lifeMu serializes lifecycle transitions (restart, rejuvenate,
+	// drain-close) per shard; the hot path never touches it.
+	lifeMu sync.Mutex
+
+	mu  sync.RWMutex // guards cur and cur.closed
+	cur *shardGen
 }
 
 func newShard(id, queueDepth int, rng *dist.RNG) *shard {
 	return &shard{
 		id:  id,
 		cap: int64(queueDepth),
-		q:   make(chan *envelope, queueDepth),
 		rng: rng,
 	}
 }
 
-// reserve claims one queue slot, failing when the shard is at capacity.
+// newGen builds the shard's next generation (queue capacity matches
+// admission capacity, so a held reservation guarantees a non-blocking
+// enqueue). The caller publishes it under mu.
+func (s *shard) newGen(n int64, suppress map[string]struct{}) *shardGen {
+	return &shardGen{
+		n:              n,
+		q:              make(chan *envelope, s.cap),
+		killed:         make(chan struct{}),
+		done:           make(chan struct{}),
+		replaySuppress: suppress,
+	}
+}
+
+// current returns the live generation.
+func (s *shard) current() *shardGen {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur
+}
+
+// beat records loop/delivery progress at now. Probes compare this
+// against the staleness budget; it is the only supervision cost on the
+// hot path (one atomic store per routed batch / completed delivery).
+func (s *shard) beat(now time.Time) { s.progress.Store(now.UnixNano()) }
+
+// lastProgress returns the most recent beat (zero time if none).
+func (s *shard) lastProgress() time.Time {
+	n := s.progress.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// setState publishes a lifecycle transition.
+func (s *shard) setState(st ShardState) { s.state.Store(int32(st)) }
+
+// State returns the shard's lifecycle state (lock-free).
+func (s *shard) State() ShardState { return ShardState(s.state.Load()) }
+
+// Health is a shard's lock-free supervision snapshot: everything a
+// watchdog probe or invariant check needs, read from atomics only.
+type Health struct {
+	Shard         int
+	State         ShardState
+	Generation    int64
+	Depth         int64
+	InFlight      int64
+	LastProgress  time.Time
+	Restarts      int64
+	Rejuvenations int64
+}
+
+// health snapshots the shard's supervision atomics. It never takes
+// shard locks, so it is safe to call against a wedged shard.
+func (s *shard) health() Health {
+	return Health{
+		Shard:         s.id,
+		State:         s.State(),
+		Generation:    s.gen.Load(),
+		Depth:         s.depth.Load(),
+		InFlight:      s.inflight.Load(),
+		LastProgress:  s.lastProgress(),
+		Restarts:      s.restarts.Load(),
+		Rejuvenations: s.rejuvenations.Load(),
+	}
+}
+
+// reserve claims one queue slot, failing when the shard is at capacity
+// or not accepting (quiescing, restarting, stopped).
 func (s *shard) reserve() bool {
+	if s.State() != ShardRunning {
+		return false
+	}
+	return s.reserveSlot()
+}
+
+// reserveSlot claims one slot regardless of lifecycle state — the
+// replay path admits into a ShardRestarting shard through this.
+func (s *shard) reserveSlot() bool {
 	for {
 		d := s.depth.Load()
 		if d >= s.cap {
@@ -57,8 +237,13 @@ func (s *shard) reserve() bool {
 // CAS, returning how many it got (possibly zero) — the batched-ingest
 // admission primitive. Partial grants let the rest of a burst fail
 // with OverloadError individually instead of rejecting the whole
-// burst.
+// burst. A shard that is not Running grants nothing: restart and
+// rejuvenation close admission the same way a full queue does, and the
+// sender's retry-after-hint loop rides it out.
 func (s *shard) reserveN(n int64) int64 {
+	if s.State() != ShardRunning {
+		return 0
+	}
 	for {
 		d := s.depth.Load()
 		grant := s.cap - d
@@ -75,16 +260,31 @@ func (s *shard) reserveN(n int64) int64 {
 	}
 }
 
-// reserveBlocking claims a slot, waiting for one to free up. Only used
-// during startup replay, while the loops are guaranteed to be draining.
+// reserveBlocking claims a slot, waiting for one to free up,
+// regardless of lifecycle state. Only used by replay, while the
+// generation's loop is guaranteed to be draining.
 func (s *shard) reserveBlocking() {
-	for !s.reserve() {
+	for !s.reserveSlot() {
 		time.Sleep(time.Millisecond)
 	}
 }
 
-// release returns a slot.
-func (s *shard) release() { s.depth.Add(-1) }
+// release returns a slot. It floors at zero: after a kill+replay
+// restart resets the gauge, a straggling worker from the abandoned
+// generation may still release a reservation the reset already wiped,
+// and a negative depth would both leak admission capacity and trip the
+// queue-depth invariant.
+func (s *shard) release() {
+	for {
+		d := s.depth.Load()
+		if d <= 0 {
+			return
+		}
+		if s.depth.CompareAndSwap(d, d-1) {
+			return
+		}
+	}
+}
 
 func (s *shard) notePeak(d int64) {
 	for {
@@ -95,30 +295,67 @@ func (s *shard) notePeak(d int64) {
 	}
 }
 
-// enqueue hands an admitted envelope to the loop. The caller must hold
-// a reservation, so the buffered send cannot block; the read lock
-// fences against close so a graceful drain never races a send.
+// enqueue hands an admitted envelope to the current generation's loop.
+// The caller must hold a reservation, so the buffered send cannot
+// block; the read lock fences against close and generation swap so a
+// graceful drain never races a send.
 func (s *shard) enqueue(env *envelope) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.closed {
-		// Drain raced us after reservation: the alert is durable and
-		// unmarked, so the next incarnation replays it. Nothing is
+	g := s.cur
+	if g == nil || g.closed {
+		// Drain (or a kill+replay restart) raced us after reservation:
+		// the alert is durable and unmarked, so the next incarnation —
+		// of the shard or of the process — replays it. Nothing is
 		// silently lost.
-		s.depth.Add(-1)
+		s.release()
 		return
 	}
-	s.q <- env
+	if g.replaySuppress != nil {
+		if _, replayed := g.replaySuppress[env.key]; replayed {
+			// This generation already replayed the alert from the WAL:
+			// the submitter reserved on the previous generation and lost
+			// the race with the restart. The replayed copy owns delivery;
+			// routing this one too would deliver it twice.
+			s.release()
+			return
+		}
+	}
+	g.q <- env
 }
 
-// close ends intake for a graceful drain; the loop exits after the
-// queue empties.
-func (s *shard) close() {
+// enqueueReplay is enqueue for the replay path itself: it skips the
+// suppression check (the replayed copies are exactly the keys in the
+// suppression set).
+func (s *shard) enqueueReplay(env *envelope) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.cur
+	if g == nil || g.closed {
+		s.release()
+		return
+	}
+	g.q <- env
+}
+
+// closeIntake ends the current generation's intake for a graceful
+// drain; the loop exits after the queue empties.
+func (s *shard) closeIntake() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.closed {
-		s.closed = true
-		close(s.q)
+	if s.cur != nil && !s.cur.closed {
+		s.cur.closed = true
+		close(s.cur.q)
+	}
+}
+
+// killCurrent abandons the current generation (hub-wide Kill).
+func (s *shard) killCurrent() {
+	s.mu.RLock()
+	g := s.cur
+	s.mu.RUnlock()
+	if g != nil {
+		g.kill()
 	}
 }
 

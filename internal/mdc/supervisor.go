@@ -1,0 +1,259 @@
+package mdc
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"simba/internal/clock"
+	"simba/internal/faults"
+	"simba/internal/metrics"
+)
+
+// Unit is one restartable component a Supervisor probes — the
+// generalization of Daemon from one watched process to N watched units
+// inside one process (the hub's shards, in simbad). A Unit is never
+// started by the Supervisor: it is already running, and the only
+// recovery verb is Restart.
+type Unit interface {
+	// Name identifies the unit in journals and stats.
+	Name() string
+	// AreYouWorking is the non-blocking health probe. Implementations
+	// should read atomics/snapshots only — the Supervisor still guards
+	// the call with a reply timeout, but a probe that takes locks can
+	// block behind exactly the failure it is trying to detect.
+	AreYouWorking() bool
+	// Restart recovers the unit after FailureThreshold consecutive
+	// probe failures. It blocks until the unit is serving again (or
+	// returns the reason it cannot be).
+	Restart(reason string) error
+}
+
+// Supervisor defaults. Probe cadence is deliberately much faster than
+// the MDC's process-level three minutes: an in-process unit probe is a
+// few atomic loads, and a wedged shard should be caught in seconds.
+const (
+	DefaultUnitProbePeriod      = time.Second
+	DefaultUnitReplyTimeout     = 250 * time.Millisecond
+	DefaultUnitFailureThreshold = 2
+)
+
+// SupervisorConfig parameterizes a Supervisor.
+type SupervisorConfig struct {
+	// Clock drives probe scheduling and journal timestamps; required.
+	Clock clock.Clock
+	// ProbePeriod is how often every unit is probed; zero means
+	// DefaultUnitProbePeriod.
+	ProbePeriod time.Duration
+	// ReplyTimeout bounds one probe's reply wait; an overdue reply
+	// counts as a failure. Zero means DefaultUnitReplyTimeout.
+	ReplyTimeout time.Duration
+	// FailureThreshold is how many consecutive probe failures trigger
+	// Restart; zero means DefaultUnitFailureThreshold.
+	FailureThreshold int
+	// Journal records probe failures and restarts. Optional.
+	Journal *faults.Journal
+	// OnRestart, when set, observes every restart attempt (err nil on
+	// success). Optional; called from the supervision goroutine.
+	OnRestart func(unit string, err error)
+}
+
+// UnitStats is one unit's supervision counters.
+type UnitStats struct {
+	Name     string
+	Probes   int64 // probes issued
+	Failures int64 // probes failed (false reply or reply timeout)
+	Restarts int64 // successful Restart calls
+	// RestartErrors counts Restart calls that themselves failed; the
+	// failure streak continues and the next threshold crossing retries.
+	RestartErrors int64
+	// ConsecutiveFailures is the current failure streak (resets on any
+	// healthy probe or successful restart).
+	ConsecutiveFailures int64
+}
+
+// unitState is a supervised unit plus its counters; counters are only
+// written by the supervision goroutine, reads go through the mutex in
+// Stats.
+type unitState struct {
+	unit  Unit
+	stats UnitStats
+}
+
+// Supervisor probes N units on one ticker and restarts any unit whose
+// probe fails FailureThreshold times in a row — the MDC's watchdog
+// discipline (periodic AreYouWorking with a reply timeout) applied at
+// sub-process granularity. One goroutine probes all units: probes are
+// designed to be cheap, and serializing them means a restart (which
+// blocks until the unit serves again) never overlaps another unit's
+// restart — rolling recovery, never a thundering herd of restarts.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+	units   []*unitState
+
+	// probeLat is the probe round-trip histogram in microseconds —
+	// evidence the probes stay non-blocking (tail spikes mean a probe
+	// implementation started taking locks).
+	probeLat metrics.Histogram
+}
+
+// NewSupervisor validates the config and returns a Supervisor over the
+// given units.
+func NewSupervisor(cfg SupervisorConfig, units ...Unit) (*Supervisor, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("mdc: SupervisorConfig requires Clock")
+	}
+	if len(units) == 0 {
+		return nil, errors.New("mdc: Supervisor requires at least one Unit")
+	}
+	if cfg.ProbePeriod <= 0 {
+		cfg.ProbePeriod = DefaultUnitProbePeriod
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = DefaultUnitReplyTimeout
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultUnitFailureThreshold
+	}
+	s := &Supervisor{cfg: cfg}
+	for _, u := range units {
+		s.units = append(s.units, &unitState{unit: u, stats: UnitStats{Name: u.Name()}})
+	}
+	return s, nil
+}
+
+// Start launches the supervision loop in its own goroutine.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go s.run(stop, done)
+}
+
+// Stop ends supervision (the units keep running) and waits for the
+// supervision goroutine to exit.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stop)
+	done := s.done
+	s.mu.Unlock()
+	<-done
+}
+
+func (s *Supervisor) run(stop chan struct{}, done chan struct{}) {
+	defer close(done)
+	ticker := s.cfg.Clock.NewTicker(s.cfg.ProbePeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C():
+			for _, u := range s.units {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.probeUnit(u)
+			}
+		}
+	}
+}
+
+// probeUnit runs one guarded probe and escalates a completed failure
+// streak to Restart.
+func (s *Supervisor) probeUnit(u *unitState) {
+	start := s.cfg.Clock.Now()
+	ok := s.probe(u.unit)
+	s.probeLat.Observe(s.cfg.Clock.Since(start).Microseconds())
+
+	s.mu.Lock()
+	u.stats.Probes++
+	if ok {
+		u.stats.ConsecutiveFailures = 0
+		s.mu.Unlock()
+		return
+	}
+	u.stats.Failures++
+	u.stats.ConsecutiveFailures++
+	streak := u.stats.ConsecutiveFailures
+	s.mu.Unlock()
+
+	if streak < int64(s.cfg.FailureThreshold) {
+		return
+	}
+	s.journal(faults.KindDaemonRestart,
+		"unit %s failed %d consecutive probes; restarting", u.unit.Name(), streak)
+	err := u.unit.Restart("AreYouWorking probe failed")
+	if f := s.cfg.OnRestart; f != nil {
+		f(u.unit.Name(), err)
+	}
+	s.mu.Lock()
+	if err != nil {
+		u.stats.RestartErrors++
+	} else {
+		u.stats.Restarts++
+		u.stats.ConsecutiveFailures = 0
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.journal(faults.KindUnrecovered, "unit %s restart failed: %v", u.unit.Name(), err)
+	}
+}
+
+// probe is the event-object handshake from Controller.probe, per unit:
+// invoke AreYouWorking on a fresh goroutine and wait for the reply no
+// longer than ReplyTimeout. The goroutine of a hung probe is leaked by
+// design — exactly the hang the timeout exists to detect.
+func (s *Supervisor) probe(u Unit) bool {
+	reply := make(chan bool, 1)
+	go func() { reply <- u.AreYouWorking() }()
+	timer := s.cfg.Clock.NewTimer(s.cfg.ReplyTimeout)
+	defer timer.Stop()
+	select {
+	case ok := <-reply:
+		return ok
+	case <-timer.C():
+		return false
+	}
+}
+
+// Stats snapshots every unit's supervision counters, in unit order.
+func (s *Supervisor) Stats() []UnitStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]UnitStats, len(s.units))
+	for i, u := range s.units {
+		out[i] = u.stats
+	}
+	return out
+}
+
+// ProbeLatency returns the probe round-trip histogram (microseconds).
+func (s *Supervisor) ProbeLatency() metrics.HistogramSnapshot {
+	return s.probeLat.Snapshot()
+}
+
+func (s *Supervisor) journal(kind faults.Kind, format string, args ...any) {
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.Recordf(s.cfg.Clock.Now(), kind, format, args...)
+	}
+}

@@ -1,0 +1,188 @@
+package mdc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"simba/internal/clock"
+	"simba/internal/faults"
+)
+
+// fakeUnit is a controllable Unit: health toggles, probes can hang,
+// restarts can fail.
+type fakeUnit struct {
+	name string
+
+	mu         sync.Mutex
+	healthy    bool
+	hung       bool
+	restarts   int
+	restartErr error
+}
+
+func newFakeUnit(name string) *fakeUnit { return &fakeUnit{name: name, healthy: true} }
+
+func (u *fakeUnit) Name() string { return u.name }
+
+func (u *fakeUnit) AreYouWorking() bool {
+	u.mu.Lock()
+	hung, healthy := u.hung, u.healthy
+	u.mu.Unlock()
+	if hung {
+		select {} // never replies; the supervisor's timeout must catch it
+	}
+	return healthy
+}
+
+func (u *fakeUnit) Restart(reason string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.restartErr != nil {
+		return u.restartErr
+	}
+	u.restarts++
+	u.healthy = true
+	u.hung = false
+	return nil
+}
+
+func (u *fakeUnit) set(healthy, hung bool) {
+	u.mu.Lock()
+	u.healthy, u.hung = healthy, hung
+	u.mu.Unlock()
+}
+
+func (u *fakeUnit) restartCount() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.restarts
+}
+
+func newSupervisor(t *testing.T, sim *clock.Sim, j *faults.Journal, units ...Unit) *Supervisor {
+	t.Helper()
+	s, err := NewSupervisor(SupervisorConfig{
+		Clock:            sim,
+		ProbePeriod:      time.Second,
+		ReplyTimeout:     250 * time.Millisecond,
+		FailureThreshold: 2,
+		Journal:          j,
+	}, units...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func supAdvanceUntil(t *testing.T, sim *clock.Sim, step time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		sim.Advance(step)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSupervisorValidation(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{}, newFakeUnit("u")); err == nil {
+		t.Fatal("missing clock accepted")
+	}
+	if _, err := NewSupervisor(SupervisorConfig{Clock: clock.NewSim(time.Time{})}); err == nil {
+		t.Fatal("zero units accepted")
+	}
+}
+
+func TestSupervisorHealthyUnitsNotRestarted(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	a, b := newFakeUnit("a"), newFakeUnit("b")
+	s := newSupervisor(t, sim, nil, a, b)
+	s.Start()
+	defer s.Stop()
+	supAdvanceUntil(t, sim, time.Second, func() bool {
+		st := s.Stats()
+		return st[0].Probes >= 5 && st[1].Probes >= 5
+	})
+	if a.restartCount() != 0 || b.restartCount() != 0 {
+		t.Fatalf("healthy units restarted: a=%d b=%d", a.restartCount(), b.restartCount())
+	}
+}
+
+func TestSupervisorRestartsAfterThreshold(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	a, b := newFakeUnit("a"), newFakeUnit("b")
+	j := &faults.Journal{}
+	s := newSupervisor(t, sim, j, a, b)
+	s.Start()
+	defer s.Stop()
+	a.set(false, false)
+	supAdvanceUntil(t, sim, time.Second, func() bool { return a.restartCount() == 1 })
+	// Restart healed the unit; the streak must reset and stay reset.
+	supAdvanceUntil(t, sim, time.Second, func() bool { return s.Stats()[0].Probes >= 6 })
+	if got := a.restartCount(); got != 1 {
+		t.Fatalf("unit a restarted %d times; want exactly 1", got)
+	}
+	if b.restartCount() != 0 {
+		t.Fatalf("sibling unit b restarted %d times", b.restartCount())
+	}
+	st := s.Stats()[0]
+	if st.Failures < 2 || st.Restarts != 1 || st.ConsecutiveFailures != 0 {
+		t.Fatalf("unit a stats = %+v", st)
+	}
+	if j.CountMatching(faults.KindDaemonRestart, "unit a") == 0 {
+		t.Fatal("restart not journaled")
+	}
+}
+
+func TestSupervisorReplyTimeoutCountsAsFailure(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	a := newFakeUnit("a")
+	s := newSupervisor(t, sim, nil, a)
+	s.Start()
+	defer s.Stop()
+	a.set(true, true) // probe hangs; only the reply timeout can fail it
+	// Advance in sub-timeout steps so the 250ms reply timer actually
+	// fires between probe ticks.
+	supAdvanceUntil(t, sim, 100*time.Millisecond, func() bool { return a.restartCount() == 1 })
+	if st := s.Stats()[0]; st.Failures < 2 {
+		t.Fatalf("hung probes not counted as failures: %+v", st)
+	}
+}
+
+func TestSupervisorRestartErrorKeepsStreak(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	a := newFakeUnit("a")
+	a.restartErr = errors.New("still wedged")
+	j := &faults.Journal{}
+	s := newSupervisor(t, sim, j, a)
+	s.Start()
+	defer s.Stop()
+	a.set(false, false)
+	supAdvanceUntil(t, sim, time.Second, func() bool { return s.Stats()[0].RestartErrors >= 2 })
+	if st := s.Stats()[0]; st.Restarts != 0 {
+		t.Fatalf("failed restarts counted as successes: %+v", st)
+	}
+	if j.Count(faults.KindUnrecovered) == 0 {
+		t.Fatal("restart failure not journaled as unrecovered")
+	}
+	// Clearing the fault lets the next threshold crossing recover it.
+	a.mu.Lock()
+	a.restartErr = nil
+	a.mu.Unlock()
+	supAdvanceUntil(t, sim, time.Second, func() bool { return a.restartCount() == 1 })
+}
+
+func TestSupervisorProbeLatencyRecorded(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	a := newFakeUnit("a")
+	s := newSupervisor(t, sim, nil, a)
+	s.Start()
+	defer s.Stop()
+	supAdvanceUntil(t, sim, time.Second, func() bool { return s.Stats()[0].Probes >= 3 })
+	if snap := s.ProbeLatency(); snap.Count < 3 {
+		t.Fatalf("probe latency histogram has %d observations", snap.Count)
+	}
+}

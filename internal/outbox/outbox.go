@@ -98,6 +98,10 @@ type Options struct {
 type Stats struct {
 	// Pending is the number of envelopes awaiting redelivery.
 	Pending int
+	// OldestDue is the earliest scheduled redelivery time (zero when
+	// nothing is pending). An OldestDue far in the past means the
+	// redelivery loop has stopped draining.
+	OldestDue time.Time
 	// Loaded counts envelopes recovered from the journal at Open (after
 	// collapsing stale rounds).
 	Loaded int64
@@ -324,10 +328,25 @@ func (o *Outbox) Pending() int {
 	return len(o.pending)
 }
 
+// OldestDue returns the earliest scheduled redelivery time, false when
+// nothing is pending. A due time far in the past is the signal a
+// resource invariant watches for: the redelivery loop has stopped
+// draining its heap.
+func (o *Outbox) OldestDue() (time.Time, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.pending) == 0 {
+		return time.Time{}, false
+	}
+	return o.pending[0].e.Due, true
+}
+
 // Stats snapshots the outbox counters and journal state.
 func (o *Outbox) Stats() Stats {
+	oldest, _ := o.OldestDue()
 	return Stats{
 		Pending:         o.Pending(),
+		OldestDue:       oldest,
 		Loaded:          o.loaded.Load(),
 		Puts:            o.puts.Load(),
 		Redelivered:     o.redelivered.Load(),

@@ -441,6 +441,10 @@ func (g *GroupLog) Unprocessed() []Record { return g.log.Unprocessed() }
 // Len returns the all-time number of logged alerts.
 func (g *GroupLog) Len() int { return g.log.Len() }
 
+// Pending returns the live not-yet-processed record count — the
+// journal's current replay backlog. Cheap enough to poll.
+func (g *GroupLog) Pending() int { return g.log.Pending() }
+
 // Path returns the journal base path.
 func (g *GroupLog) Path() string { return g.log.Path() }
 

@@ -121,6 +121,17 @@ func (s *LaneSet) Lane(i int) *GroupLog { return s.lanes[i] }
 // Path returns the journal base path (lane 0's path).
 func (s *LaneSet) Path() string { return s.base }
 
+// Pending sums the lanes' live not-yet-processed record counts — the
+// set's current replay backlog. Cheap enough for resource-invariant
+// checks to poll, unlike Unprocessed (which copies payloads).
+func (s *LaneSet) Pending() int {
+	n := 0
+	for _, l := range s.lanes {
+		n += l.Pending()
+	}
+	return n
+}
+
 // Has reports whether key is resident in any lane.
 func (s *LaneSet) Has(key string) bool {
 	for _, l := range s.lanes {

@@ -585,6 +585,16 @@ func (l *Log) Len() int {
 	return int(l.total)
 }
 
+// Pending returns the number of live records not yet marked processed
+// — the replay backlog a restart would face right now. Cheap (two
+// fields under the lock, no payload copies), so resource-invariant
+// checks can poll it.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order) - l.processedLive
+}
+
 // Stats snapshots the segmentation/compaction state.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()

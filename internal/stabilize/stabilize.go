@@ -51,13 +51,15 @@ type Stabilizer struct {
 	journal  *faults.Journal
 	escalate func(check string, err error)
 
-	mu      sync.Mutex
-	checks  []Check
-	fails   map[string]int
-	counts  map[string]int64 // executions per check
-	heals   map[string]int64 // failures observed (then healed or not)
-	stop    chan struct{}
-	started bool
+	mu          sync.Mutex
+	checks      []Check
+	fails       map[string]int
+	counts      map[string]int64 // executions per check
+	failCounts  map[string]int64 // failures observed per check
+	heals       map[string]int64 // failure streaks ended by a passing run
+	escalations map[string]int64 // failure streaks that hit the escalation threshold
+	stop        chan struct{}
+	started     bool
 }
 
 // New builds a stabilizer. escalate is called (at most once per
@@ -68,12 +70,14 @@ func New(clk clock.Clock, journal *faults.Journal, escalate func(check string, e
 		return nil, errors.New("stabilize: clock is required")
 	}
 	return &Stabilizer{
-		clk:      clk,
-		journal:  journal,
-		escalate: escalate,
-		fails:    make(map[string]int),
-		counts:   make(map[string]int64),
-		heals:    make(map[string]int64),
+		clk:         clk,
+		journal:     journal,
+		escalate:    escalate,
+		fails:       make(map[string]int),
+		counts:      make(map[string]int64),
+		failCounts:  make(map[string]int64),
+		heals:       make(map[string]int64),
+		escalations: make(map[string]int64),
 	}, nil
 }
 
@@ -156,7 +160,42 @@ func (s *Stabilizer) Executions(name string) int64 {
 func (s *Stabilizer) Failures(name string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.heals[name]
+	return s.failCounts[name]
+}
+
+// CheckStats is one check's lifetime counters.
+type CheckStats struct {
+	Name string
+	// Executions counts runs; Failures counts runs whose Fn returned an
+	// error (in-place healing that succeeded returns nil and does not
+	// count).
+	Executions int64
+	Failures   int64
+	// Heals counts failure streaks ended by a subsequent passing run —
+	// the invariant was violated and then restored.
+	Heals int64
+	// Escalations counts failure streaks that reached the escalation
+	// threshold and invoked the escalate callback.
+	Escalations int64
+}
+
+// Stats snapshots every registered check's counters, in registration
+// order. Checks that have never run report zeros.
+func (s *Stabilizer) Stats() []CheckStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CheckStats, len(s.checks))
+	for i := range s.checks {
+		name := s.checks[i].Name
+		out[i] = CheckStats{
+			Name:        name,
+			Executions:  s.counts[name],
+			Failures:    s.failCounts[name],
+			Heals:       s.heals[name],
+			Escalations: s.escalations[name],
+		}
+	}
+	return out
 }
 
 func (s *Stabilizer) runCheck(c Check, stop chan struct{}) {
@@ -182,12 +221,18 @@ func (s *Stabilizer) execute(c Check) error {
 	}
 	var escalateNow bool
 	if err != nil {
-		s.heals[c.Name]++
+		s.failCounts[c.Name]++
 		s.fails[c.Name]++
 		if threshold > 0 && s.fails[c.Name] == threshold {
 			escalateNow = true
+			s.escalations[c.Name]++
 		}
 	} else {
+		if s.fails[c.Name] > 0 {
+			// A streak of violations just ended with a passing run: the
+			// invariant healed (in place or via escalation).
+			s.heals[c.Name]++
+		}
 		s.fails[c.Name] = 0
 	}
 	escalate := s.escalate

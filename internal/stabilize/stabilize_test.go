@@ -150,6 +150,43 @@ func TestEscalationAfterConsecutiveFailures(t *testing.T) {
 	}
 }
 
+func TestStatsCountsHealsAndEscalations(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, _ := New(sim, nil, func(string, error) {})
+	fail := atomic.Bool{}
+	mustRegister(t, s, Check{Name: "steady", Period: time.Second, Fn: func() error { return nil }})
+	mustRegister(t, s, Check{Name: "flaky", Period: time.Second, EscalateAfter: 2, Fn: func() error {
+		if fail.Load() {
+			return errors.New("nope")
+		}
+		return nil
+	}})
+
+	_ = s.RunOnce("steady")
+	// Streak 1: two failures (escalates at 2), healed by a pass.
+	fail.Store(true)
+	_ = s.RunOnce("flaky")
+	_ = s.RunOnce("flaky")
+	fail.Store(false)
+	_ = s.RunOnce("flaky")
+	// Streak 2: one failure, healed — no escalation.
+	fail.Store(true)
+	_ = s.RunOnce("flaky")
+	fail.Store(false)
+	_ = s.RunOnce("flaky")
+
+	stats := s.Stats()
+	if len(stats) != 2 || stats[0].Name != "steady" || stats[1].Name != "flaky" {
+		t.Fatalf("Stats() = %+v (want registration order)", stats)
+	}
+	if got := stats[0]; got.Executions != 1 || got.Failures != 0 || got.Heals != 0 || got.Escalations != 0 {
+		t.Fatalf("steady stats = %+v", got)
+	}
+	if got := stats[1]; got.Executions != 5 || got.Failures != 3 || got.Heals != 2 || got.Escalations != 1 {
+		t.Fatalf("flaky stats = %+v", got)
+	}
+}
+
 func TestRunOnceUnknown(t *testing.T) {
 	sim := clock.NewSim(time.Time{})
 	s, _ := New(sim, nil, nil)
