@@ -407,6 +407,42 @@ func BenchmarkHubBatchIngest(b *testing.B) {
 	})
 }
 
+// benchIngestFixture preallocates everything the timed submit loop
+// would otherwise allocate — user names, per-alert IDs, and the alert
+// structs themselves — so the benchmark's allocs/op measures the hub's
+// ingest path, not the harness's fmt.Sprintf traffic. Built under
+// StopTimer each iteration (IDs embed the iteration index to stay
+// dedup-unique across b.N).
+type benchIngestFixture struct {
+	names  []string
+	alerts []alert.Alert
+}
+
+func newBenchIngestFixture(iter, users, alerts int, clk clock.Clock) *benchIngestFixture {
+	f := &benchIngestFixture{
+		names:  make([]string, users),
+		alerts: make([]alert.Alert, alerts),
+	}
+	for u := range f.names {
+		f.names[u] = fmt.Sprintf("user-%d", u)
+	}
+	kws := []string{"stocks"} // read-only downstream: one shared slice
+	now := clk.Now()
+	for k := range f.alerts {
+		f.alerts[k] = alert.Alert{
+			ID: fmt.Sprintf("a-%d-%d", iter, k), Source: "portal",
+			Keywords: kws, Subject: "quote update",
+			Urgency: alert.UrgencyNormal, Created: now,
+		}
+	}
+	return f
+}
+
+// sub returns the k-th submission, referencing preallocated storage.
+func (f *benchIngestFixture) sub(k int) hub.Submission {
+	return hub.Submission{User: f.names[k%len(f.names)], Alert: &f.alerts[k]}
+}
+
 // benchHubBatchIngest runs the batched portal workload against an
 // 8-shard hub whose WAL is partitioned into the given number of lanes
 // (shard i stages on lane i%lanes), so the sweep isolates what
@@ -416,6 +452,7 @@ func BenchmarkHubBatchIngest(b *testing.B) {
 func benchHubBatchIngest(b *testing.B, lanes int, supervised bool) {
 	const users, alerts, submitters, burstSize = 1000, 20000, 128, 64
 	clk := clock.NewReal()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		rng := dist.NewRNG(int64(i) + 1)
@@ -431,8 +468,9 @@ func benchHubBatchIngest(b *testing.B, lanes int, supervised bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		fix := newBenchIngestFixture(i, users, alerts, clk)
 		for u := 0; u < users; u++ {
-			bd, err := h.AddUser(fmt.Sprintf("user-%d", u))
+			bd, err := h.AddUser(fix.names[u])
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -461,14 +499,7 @@ func benchHubBatchIngest(b *testing.B, lanes int, supervised bool) {
 				for j := lo; j < hi; j += burstSize {
 					burst = burst[:0]
 					for k := j; k < j+burstSize && k < hi; k++ {
-						burst = append(burst, hub.Submission{
-							User: fmt.Sprintf("user-%d", k%users),
-							Alert: &alert.Alert{
-								ID: fmt.Sprintf("a-%d-%d", i, k), Source: "portal",
-								Keywords: []string{"stocks"}, Subject: "quote update",
-								Urgency: alert.UrgencyNormal, Created: clk.Now(),
-							},
-						})
+						burst = append(burst, fix.sub(k))
 					}
 					for len(burst) > 0 {
 						errs := h.SubmitBatch(burst)
@@ -507,6 +538,151 @@ func benchHubBatchIngest(b *testing.B, lanes int, supervised bool) {
 		b.ReportMetric(float64(st.Syncs)/float64(alerts), "fsyncs/alert")
 		b.ReportMetric(st.MeanBatch, "records/fsync")
 		b.ReportMetric(st.WAL.StagedBatches.Mean(), "alerts/staged-batch")
+	}
+}
+
+// BenchmarkHubAsyncIngest — the pipelined-ingest experiment: the
+// batched portal workload of BenchmarkHubBatchIngest offered by a
+// SMALL submitter pool (the client-limited regime, where a blocking
+// submitter leaves the commit pipeline idle between bursts), each
+// submitter keeping a sliding window of `depth` SubmitBatchAsync
+// tickets in flight. depth-1 IS the synchronous baseline — the window
+// degenerates to submit-then-wait, exactly SubmitBatch's blocking
+// behavior — so the sweep isolates what pipelining buys at equal
+// submitter and lane count: depth ≥ 4 must reach ≥1.3× the depth-1
+// figure. (Single host, single core shared between submitters, WAL
+// committers, and delivery — see BENCH_hub.json for recorded runs and
+// caveats.) Also reports the adaptive scheduler's p99 admission
+// latency.
+func BenchmarkHubAsyncIngest(b *testing.B) {
+	for _, cfg := range []struct{ lanes, depth, submitters int }{
+		{4, 1, 1}, // synchronous baseline: window of one ticket
+		{4, 4, 1},
+		{4, 8, 1},
+	} {
+		b.Run(fmt.Sprintf("lanes-%d-depth-%d-sub-%d", cfg.lanes, cfg.depth, cfg.submitters), func(b *testing.B) {
+			benchHubAsyncIngest(b, cfg.lanes, cfg.depth, cfg.submitters)
+		})
+	}
+}
+
+func benchHubAsyncIngest(b *testing.B, lanes, depth, submitters int) {
+	const users, alerts, burstSize = 1000, 20000, 64
+	clk := clock.NewReal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := dist.NewRNG(int64(i) + 1)
+		sink := hub.NewSimSink(rng.Fork("substrate"), 8, nil, 0)
+		// QueueDepth sized so the deepest window (submitters × depth ×
+		// burstSize alerts in flight) fits admission capacity: the sweep
+		// measures pipelining, not overload-retry thrash.
+		h, err := hub.New(hub.Config{
+			Clock: clk, Sink: sink,
+			WALPath: b.TempDir() + "/hub.wal",
+			Shards:  8, QueueDepth: 2048,
+			WALLanes:      lanes,
+			CommitWindow:  2 * time.Millisecond,
+			AsyncInFlight: submitters * depth,
+			RNG:           rng,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fix := newBenchIngestFixture(i, users, alerts, clk)
+		for u := 0; u < users; u++ {
+			bd, err := h.AddUser(fix.names[u])
+			if err != nil {
+				b.Fatal(err)
+			}
+			bd.Pipeline().Classifier.Accept(mab.SourceRule{Source: "portal", Extract: mab.ExtractNative})
+			bd.Pipeline().Aggregator.Map("stocks", "Investment")
+		}
+		if err := h.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		per := alerts / submitters
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				type flight struct {
+					tk   *hub.Ticket
+					subs []hub.Submission
+				}
+				free := make([][]hub.Submission, depth)
+				for s := range free {
+					free[s] = make([]hub.Submission, 0, burstSize)
+				}
+				window := make([]flight, 0, depth)
+				scratch := make([]hub.Submission, 0, burstSize)
+				// settle waits out a ticket and resubmits (synchronously —
+				// overload is the slow path) any overloaded entries, then
+				// returns the flight's burst slice for reuse.
+				settle := func(f flight) []hub.Submission {
+					retry := scratch[:0]
+					var hint time.Duration
+					for idx, err := range f.tk.Wait() {
+						var over *hub.OverloadError
+						if errors.As(err, &over) {
+							retry = append(retry, f.subs[idx])
+							hint = over.RetryAfter
+							continue
+						}
+						if err != nil {
+							b.Error(err)
+						}
+					}
+					for len(retry) > 0 {
+						time.Sleep(hint)
+						next := retry[:0]
+						for idx, err := range h.SubmitBatch(retry) {
+							var over *hub.OverloadError
+							if errors.As(err, &over) {
+								next = append(next, retry[idx])
+								hint = over.RetryAfter
+								continue
+							}
+							if err != nil {
+								b.Error(err)
+							}
+						}
+						retry = next
+					}
+					return f.subs[:0]
+				}
+				lo, hi := w*per, (w+1)*per
+				for j := lo; j < hi; j += burstSize {
+					var burst []hub.Submission
+					if n := len(free); n > 0 {
+						burst, free = free[n-1], free[:n-1]
+					} else {
+						burst = settle(window[0])
+						window = window[1:]
+					}
+					for k := j; k < j+burstSize && k < hi; k++ {
+						burst = append(burst, fix.sub(k))
+					}
+					window = append(window, flight{h.SubmitBatchAsync(burst, nil), burst})
+				}
+				for _, f := range window {
+					settle(f)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := h.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		st := h.Stats()
+		b.ReportMetric(float64(alerts)/elapsed.Seconds(), "alerts/s")
+		b.ReportMetric(float64(st.Syncs)/float64(alerts), "fsyncs/alert")
+		b.ReportMetric(st.MeanBatch, "records/fsync")
+		b.ReportMetric(float64(h.Stages().Admission.P99.Microseconds()), "admit-p99-us")
 	}
 }
 

@@ -17,6 +17,7 @@
 //	simbad [-hours N] [-pprof ADDR]
 //	simbad -hub [-users N] [-shards K] [-alerts M] [-window D] [-seed S] [-delivery-window W]
 //	       [-wal-lanes L] [-wal-segment-bytes B] [-wal-checkpoint-every R]
+//	       [-commit-max-records N] [-async-depth K]
 //	       [-mode-frac F] [-ack-timeout D] [-im-ack-p P]
 //	       [-guaranteed-frac F] [-outbox-dir DIR] [-outbox-backoff D]
 //	       [-burst B] [-route-batch R] [-gc-stats] [-pprof ADDR]
@@ -27,11 +28,18 @@
 // queued alerts a shard loop routes per wakeup. -wal-lanes partitions
 // the ingest WAL into that many independent group-commit lanes (0 =
 // one per shard) so shards fsync in parallel; the run report breaks
-// fsync counts and latency down per lane. -pprof serves
-// net/http/pprof on the given address (e.g. localhost:6060) for
-// profiling either mode while it runs. -gc-stats brackets the hub run
-// with runtime.MemStats snapshots and appends heap allocations per
-// alert plus a GC pause histogram to the report.
+// fsync counts and latency down per lane. The -window commit window is
+// an upper bound, not a fixed tax: the adaptive scheduler fires
+// immediately when the log is idle and -commit-max-records force-
+// flushes a window whose staged backlog already justifies the fsync.
+// With -async-depth > 1 each worker pipelines that many
+// SubmitBatchAsync tickets instead of blocking per burst; the report's
+// admission-latency line shows what the submitter-visible durability
+// wait came to. -pprof serves net/http/pprof on the given address
+// (e.g. localhost:6060) for profiling either mode while it runs.
+// -gc-stats brackets the hub run with runtime.MemStats snapshots and
+// appends heap allocations per alert plus a GC pause histogram to the
+// report.
 //
 // A -mode-frac fraction of hosted tenants carries a personalized
 // "IM with acknowledgement, fallback email" delivery mode executed by
@@ -73,11 +81,11 @@ import (
 	"simba/internal/faults"
 	"simba/internal/harness"
 	"simba/internal/hub"
-	"simba/internal/ops"
 	"simba/internal/im"
 	"simba/internal/mab"
 	"simba/internal/mdc"
 	"simba/internal/metrics"
+	"simba/internal/ops"
 	"simba/internal/proxy"
 	"simba/internal/wish"
 )
@@ -98,6 +106,9 @@ func main() {
 	ackTimeout := flag.Duration("ack-timeout", 50*time.Millisecond, "hub: ack wait before a hosted mode block falls back")
 	imAckP := flag.Float64("im-ack-p", 0.7, "hub: probability a hosted IM delivery is acknowledged")
 	burst := flag.Int("burst", 1, "hub: submit alerts in SubmitBatch bursts of this size (1 = one-at-a-time Submit)")
+	commitMaxRecords := flag.Int("commit-max-records", 0, "hub: force-flush an in-progress commit window once this many records are staged (0 = commit MaxBatch)")
+	asyncDepth := flag.Int("async-depth", 1, "hub: SubmitBatchAsync tickets each worker keeps in flight (1 = synchronous SubmitBatch)")
+	submitInterval := flag.Duration("submit-interval", 0, "hub: pause each worker this long between bursts (paced low-load runs; 0 = full blast)")
 	routeBatch := flag.Int("route-batch", 0, "hub: max queued alerts a shard loop routes per wakeup (0 = default, 1 = alert-at-a-time)")
 	guaranteedFrac := flag.Float64("guaranteed-frac", 0.05, "hub: fraction of tenants on the guaranteed delivery tier (outbox-backed)")
 	outboxDir := flag.String("outbox-dir", "", "hub: directory for the guaranteed-tier retry outbox journal (default: the run's temp dir)")
@@ -124,6 +135,8 @@ func main() {
 			walLanes: *walLanes, walSegBytes: *walSegBytes, walCkptEvery: *walCkptEvery,
 			modeFrac: *modeFrac, ackTimeout: *ackTimeout, imAckP: *imAckP,
 			burst: *burst, routeBatch: *routeBatch,
+			commitMaxRecords: *commitMaxRecords, asyncDepth: *asyncDepth,
+			submitInterval: *submitInterval,
 			guaranteedFrac: *guaranteedFrac, outboxDir: *outboxDir, outboxBackoff: *outboxBackoff,
 			gcStats: *gcStats,
 			admin:   *adminAddr, probePeriod: *probePeriod, rejuvenateEvery: *rejuvenateEvery,
@@ -261,6 +274,9 @@ type hubParams struct {
 	ackTimeout                time.Duration
 	imAckP                    float64
 	burst, routeBatch         int
+	commitMaxRecords          int
+	asyncDepth                int
+	submitInterval            time.Duration
 	guaranteedFrac            float64
 	outboxDir                 string
 	outboxBackoff             time.Duration
@@ -292,6 +308,9 @@ func runHub(p hubParams) error {
 	}
 	if p.burst < 1 {
 		return fmt.Errorf("simbad: -burst must be >= 1")
+	}
+	if p.asyncDepth < 1 {
+		return fmt.Errorf("simbad: -async-depth must be >= 1")
 	}
 	tmp, err := os.MkdirTemp("", "simbad-hub")
 	if err != nil {
@@ -354,6 +373,7 @@ func runHub(p hubParams) error {
 		WALSegmentBytes:    p.walSegBytes,
 		WALCheckpointEvery: p.walCkptEvery,
 		RouteBatch:         p.routeBatch,
+		CommitMaxRecords:   p.commitMaxRecords,
 		OutboxPath:         filepath.Join(outboxDir, "hub.outbox"),
 		OutboxBackoff:      p.outboxBackoff,
 	})
@@ -463,25 +483,19 @@ func runHub(p hubParams) error {
 		}
 	}
 	// Each worker owns a contiguous range of the alert index space and
-	// offers it either one alert at a time (the Submit path) or in
-	// SubmitBatch bursts; overloaded entries retry after the hint.
+	// offers it either one alert at a time (the Submit path), in
+	// blocking SubmitBatch bursts, or — with -async-depth > 1 — through
+	// a sliding window of SubmitBatchAsync tickets; overloaded entries
+	// retry after the hint.
 	per := (alerts + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lo, hi := w*per, (w+1)*per
-			if hi > alerts {
-				hi = alerts
-			}
-			burst := make([]hub.Submission, 0, p.burst)
-			for i := lo; i < hi; i += p.burst {
-				burst = burst[:0]
-				for k := i; k < i+p.burst && k < hi; k++ {
-					burst = append(burst, makeAlert(k))
-				}
-				for len(burst) > 0 {
-					errs := h.SubmitBatch(burst)
+			// retryLoop resubmits overloaded entries synchronously until
+			// they land (overload is the slow path either way).
+			retryLoop := func(burst []hub.Submission, errs []error) []hub.Submission {
+				for {
 					retry := burst[:0]
 					var hint time.Duration
 					for idx, err := range errs {
@@ -493,14 +507,61 @@ func runHub(p hubParams) error {
 						}
 						if err != nil {
 							errc <- err
-							return
+							return nil
 						}
 					}
-					burst = retry
-					if len(burst) > 0 {
-						time.Sleep(hint)
+					if len(retry) == 0 {
+						return burst[:0]
 					}
+					time.Sleep(hint)
+					burst = retry
+					errs = h.SubmitBatch(burst)
 				}
+			}
+			type flight struct {
+				tk   *hub.Ticket
+				subs []hub.Submission
+			}
+			free := make([][]hub.Submission, p.asyncDepth)
+			for s := range free {
+				free[s] = make([]hub.Submission, 0, p.burst)
+			}
+			window := make([]flight, 0, p.asyncDepth)
+			settle := func(f flight) []hub.Submission {
+				if subs := retryLoop(f.subs, f.tk.Wait()); subs != nil {
+					return subs
+				}
+				return f.subs[:0]
+			}
+			lo, hi := w*per, (w+1)*per
+			if hi > alerts {
+				hi = alerts
+			}
+			for i := lo; i < hi; i += p.burst {
+				if p.submitInterval > 0 && i > lo {
+					time.Sleep(p.submitInterval)
+				}
+				var burst []hub.Submission
+				if n := len(free); n > 0 {
+					burst, free = free[n-1], free[:n-1]
+				} else {
+					burst = settle(window[0])
+					window = window[1:]
+				}
+				for k := i; k < i+p.burst && k < hi; k++ {
+					burst = append(burst, makeAlert(k))
+				}
+				if p.asyncDepth > 1 {
+					window = append(window, flight{h.SubmitBatchAsync(burst, nil), burst})
+					continue
+				}
+				if retryLoop(burst, h.SubmitBatch(burst)) == nil {
+					return
+				}
+				free = append(free, burst[:0])
+			}
+			for _, f := range window {
+				settle(f)
 			}
 		}(w)
 	}
@@ -557,6 +618,11 @@ func runHub(p hubParams) error {
 		lat.Mean.Round(time.Microsecond), lat.P50.Round(time.Microsecond),
 		lat.P99.Round(time.Microsecond), lat.Count)
 	stages := h.Stages()
+	// Machine-parseable (scripts/latency_smoke.sh keys off this line):
+	// integer microseconds, space-separated.
+	fmt.Printf("admission latency (us): p50 %d p99 %d n %d\n",
+		stages.Admission.P50.Microseconds(), stages.Admission.P99.Microseconds(),
+		stages.Admission.Count)
 	fmt.Printf("stage split: queue-wait p50 %v / p99 %v | route p50 %v / p99 %v | deliver p50 %v / p99 %v\n",
 		stages.QueueWait.P50.Round(time.Microsecond), stages.QueueWait.P99.Round(time.Microsecond),
 		stages.Route.P50.Round(time.Microsecond), stages.Route.P99.Round(time.Microsecond),

@@ -61,10 +61,11 @@ var equivalenceCounters = []string{
 }
 
 // TestHubSubmitBatchMatchesSubmit is the equivalence property test: the
-// same alert stream driven through Submit one-at-a-time and through
-// SubmitBatch bursts of varied sizes must yield identical hub counters,
-// identical per-user delivery order, and identical WAL record sets.
-// Run under -race in CI: one goroutine per user keeps each user's
+// same alert stream driven through Submit one-at-a-time, through
+// SubmitBatch bursts of varied sizes, and through SubmitBatchAsync with
+// a sliding window of tickets in flight must yield identical hub
+// counters, identical per-user delivery order, and identical WAL record
+// sets. Run under -race in CI: one goroutine per user keeps each user's
 // submission order fixed while cross-user interleaving races freely.
 func TestHubSubmitBatchMatchesSubmit(t *testing.T) {
 	const users, perUser = 24, 30
@@ -172,19 +173,50 @@ func TestHubSubmitBatchMatchesSubmit(t *testing.T) {
 			next = end
 		}
 	})
-
-	if !reflect.DeepEqual(seq.counters, batch.counters) {
-		t.Errorf("counters diverge:\n  submit:      %v\n  submitBatch: %v", seq.counters, batch.counters)
-	}
-	for u := 0; u < users; u++ {
-		user := fmt.Sprintf("user-%d", u)
-		if !reflect.DeepEqual(seq.sequences[user], batch.sequences[user]) {
-			t.Errorf("%s delivery order diverges:\n  submit:      %v\n  submitBatch: %v",
-				user, seq.sequences[user], batch.sequences[user])
+	// Pipelined: up to asyncDepth bursts in flight per user; the ticket
+	// window preserves the user's submission order because bursts stage
+	// in submit order and each lane resolves FIFO.
+	async := run("submit-async", func(h *Hub, stream []Submission) {
+		const asyncDepth = 4
+		var inflight []*Ticket
+		settle := func(tk *Ticket) {
+			for _, err := range tk.Wait() {
+				if err != nil {
+					t.Errorf("submit async: %v", err)
+				}
+			}
 		}
-	}
-	if seq.walLive != batch.walLive {
-		t.Errorf("WAL record counts diverge: submit=%d submitBatch=%d", seq.walLive, batch.walLive)
+		for next, si := 0, 0; next < len(stream); si++ {
+			end := next + burstSizes[si%len(burstSizes)]
+			if end > len(stream) {
+				end = len(stream)
+			}
+			inflight = append(inflight, h.SubmitBatchAsync(stream[next:end], nil))
+			if len(inflight) >= asyncDepth {
+				settle(inflight[0])
+				inflight = inflight[1:]
+			}
+			next = end
+		}
+		for _, tk := range inflight {
+			settle(tk)
+		}
+	})
+
+	for name, got := range map[string]result{"submitBatch": batch, "submitBatchAsync": async} {
+		if !reflect.DeepEqual(seq.counters, got.counters) {
+			t.Errorf("counters diverge:\n  submit:  %v\n  %s: %v", seq.counters, name, got.counters)
+		}
+		for u := 0; u < users; u++ {
+			user := fmt.Sprintf("user-%d", u)
+			if !reflect.DeepEqual(seq.sequences[user], got.sequences[user]) {
+				t.Errorf("%s delivery order diverges:\n  submit:  %v\n  %s: %v",
+					user, seq.sequences[user], name, got.sequences[user])
+			}
+		}
+		if seq.walLive != got.walLive {
+			t.Errorf("WAL record counts diverge: submit=%d %s=%d", seq.walLive, name, got.walLive)
+		}
 	}
 }
 
@@ -260,6 +292,109 @@ func TestHubCrashBetweenBatchFsyncAndEnqueue(t *testing.T) {
 	}
 	// Post-dedup: re-submitting the acked burst re-acks idempotently.
 	for i, err := range h2.SubmitBatch(burst) {
+		if err != nil {
+			t.Fatalf("re-submit entry %d: %v", i, err)
+		}
+	}
+	if got := h2.Counters().Get("duplicates"); got != int64(len(burst)) {
+		t.Fatalf("duplicates = %d, want %d", got, len(burst))
+	}
+	if err := h2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		got := sink2.sequence(user)
+		if len(got) != perUser {
+			t.Fatalf("%s delivered %d alerts, want exactly %d: %v", user, len(got), perUser, got)
+		}
+		for i, id := range got {
+			if want := fmt.Sprintf("a-%s-%d", user, i); id != want {
+				t.Fatalf("%s delivery %d = %s, want %s (replay order lost)", user, i, id, want)
+			}
+		}
+	}
+	l, err := plog.OpenLanes(walPath, 1, plog.GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if un := l.Unprocessed(); len(un) != 0 {
+		t.Fatalf("%d unprocessed WAL records after replay + drain", len(un))
+	}
+}
+
+// TestHubCrashAsyncTicketBeforeEnqueue is the pipelined-ingest variant
+// of the crash test above: SubmitBatchAsync stages a burst, the commit
+// lands and the ticket resolves (every entry acknowledged), then the
+// hub dies before the lane resolvers enqueue anything. The crash window
+// is identical to the synchronous path's — a resolved ticket means
+// durable, not delivered — so the next incarnation must replay and
+// deliver every acknowledged alert exactly once, in per-user order.
+func TestHubCrashAsyncTicketBeforeEnqueue(t *testing.T) {
+	const users, perUser = 8, 6
+	clk := clock.NewReal()
+	walPath := filepath.Join(t.TempDir(), "crash-async.wal")
+	crash := faults.NewFlag("crash-after-batch-fsync")
+	journal := &faults.Journal{}
+	sink1 := newOrderSink(dist.NewRNG(43), 4, 0)
+	h1, err := New(Config{
+		Clock: clk, Sink: sink1, WALPath: walPath, Shards: 4, QueueDepth: 256,
+		CrashAfterBatchFsync: crash, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h1, users)
+	if err := h1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var burst []Submission
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		for i := 0; i < perUser; i++ {
+			a := portalAlert(i, clk.Now())
+			a.ID = fmt.Sprintf("a-%s-%d", user, i)
+			burst = append(burst, Submission{User: user, Alert: a})
+		}
+	}
+	crash.Set(true, clk.Now())
+	tk := h1.SubmitBatchAsync(burst, nil)
+	for i, err := range tk.Wait() {
+		if err != nil {
+			t.Fatalf("burst entry %d not acknowledged despite durable batch: %v", i, err)
+		}
+	}
+	select {
+	case <-h1.Stopped():
+	case <-time.After(15 * time.Second):
+		t.Fatal("hub did not stop after injected crash")
+	}
+	if got := journal.Count(faults.KindFaultInjected); got != 1 {
+		t.Fatalf("journaled %d injected faults, want 1", got)
+	}
+	for u := 0; u < users; u++ {
+		if got := sink1.sequence(fmt.Sprintf("user-%d", u)); len(got) != 0 {
+			t.Fatalf("incarnation 1 delivered %v inside the crash window", got)
+		}
+	}
+
+	// Incarnation 2: replay covers the resolved-but-unrouted burst.
+	crash.Set(false, clk.Now())
+	sink2 := newOrderSink(dist.NewRNG(47), 4, 0)
+	h2, err := New(Config{Clock: clk, Sink: sink2, WALPath: walPath, Shards: 4, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addUsers(t, h2, users)
+	if err := h2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Counters().Get("replayed"); got != int64(len(burst)) {
+		t.Fatalf("replayed = %d, want %d", got, len(burst))
+	}
+	// Re-submitting the resolved burst async re-acks idempotently.
+	for i, err := range h2.SubmitBatchAsync(burst, nil).Wait() {
 		if err != nil {
 			t.Fatalf("re-submit entry %d: %v", i, err)
 		}

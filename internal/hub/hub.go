@@ -100,6 +100,12 @@ const (
 	// kill+replay restart waits for the abandoned generation's loop and
 	// delivery workers to stop before scanning the WAL.
 	DefaultQuiesceTimeout = 5 * time.Second
+	// DefaultAsyncInFlight caps the hub-wide number of unresolved
+	// SubmitBatchAsync tickets when Config.AsyncInFlight is zero.
+	DefaultAsyncInFlight = 256
+	// laneQueueDepth buffers each WAL lane's commit-resolver inbox; a
+	// full inbox backpressures stagers onto the resolver.
+	laneQueueDepth = 128
 )
 
 // keySep joins the tenant ID and the alert's dedup key inside WAL
@@ -196,13 +202,27 @@ type Config struct {
 	// QueueDepth bounds each shard's inbound queue; zero means
 	// DefaultQueueDepth.
 	QueueDepth int
-	// CommitWindow is the group-commit accumulation window (wall
-	// clock). Zero commits as soon as the previous fsync finishes,
-	// which still batches naturally under load.
+	// CommitWindow is the group-commit window's upper bound (wall
+	// clock). The commit schedule is adaptive (plog.GroupOptions.Window):
+	// an append that ends an idle spell commits immediately, so the
+	// window taxes only steady streams. Zero commits as soon as the
+	// previous fsync finishes.
 	CommitWindow time.Duration
 	// CommitMaxBatch caps WAL lines per fsync; zero means
 	// DefaultCommitMaxBatch.
 	CommitMaxBatch int
+	// CommitMaxRecords force-flushes an in-progress commit window once
+	// a lane's staged backlog reaches this many journal lines, so heavy
+	// bursts never wait out the timer. Zero means CommitMaxBatch.
+	CommitMaxRecords int
+	// CommitMaxBytes force-flushes once a lane's staged backlog reaches
+	// this many encoded bytes. Zero means plog's default (1 MiB).
+	CommitMaxBytes int
+	// AsyncInFlight caps the hub-wide number of unresolved
+	// SubmitBatchAsync tickets — the pipelined ingest path's
+	// backpressure. An async submitter past the cap blocks until a
+	// ticket resolves. Zero means DefaultAsyncInFlight.
+	AsyncInFlight int
 	// WALSegmentBytes caps the WAL's active segment before it rotates;
 	// zero means plog.DefaultSegmentBytes (4 MiB).
 	WALSegmentBytes int64
@@ -471,6 +491,18 @@ type Hub struct {
 	users   map[string]*Buddy
 	started bool
 
+	// Pipelined ingest plumbing: each WAL lane has a FIFO resolver
+	// goroutine that waits out staged bursts' commit tickets in staging
+	// order and only then enqueues them to their shards — the deferred
+	// enqueue that keeps admission→log→ack→enqueue ordering intact when
+	// submitters hold several batches in flight.
+	laneq []chan *lanePart
+	// asyncSem bounds unresolved SubmitBatchAsync tickets
+	// (Config.AsyncInFlight); ingestPending counts staged-but-unresolved
+	// tickets of either path so Drain can wait out deferred enqueues.
+	asyncSem      chan struct{}
+	ingestPending atomic.Int64
+
 	accepting atomic.Bool
 	killed    chan struct{}
 	killOnce  sync.Once
@@ -504,6 +536,9 @@ type Hub struct {
 	queueWait  *metrics.Recorder
 	routeLat   *metrics.Recorder
 	deliverLat *metrics.Recorder
+	// admitLat is submit → burst acknowledged (every lane durable) —
+	// the admission latency the adaptive commit scheduler shrinks.
+	admitLat *metrics.Recorder
 }
 
 // New validates the config and opens the hub's WAL. Call AddUser for
@@ -526,6 +561,9 @@ func New(cfg Config) (*Hub, error) {
 	}
 	if cfg.CommitMaxBatch <= 0 {
 		cfg.CommitMaxBatch = DefaultCommitMaxBatch
+	}
+	if cfg.AsyncInFlight <= 0 {
+		cfg.AsyncInFlight = DefaultAsyncInFlight
 	}
 	if cfg.LatencyReservoir <= 0 {
 		cfg.LatencyReservoir = DefaultLatencyReservoir
@@ -564,8 +602,10 @@ func New(cfg Config) (*Hub, error) {
 		cfg.WALLanes = cfg.Shards
 	}
 	wal, err := plog.OpenLanes(cfg.WALPath, cfg.WALLanes, plog.GroupOptions{
-		Window:   cfg.CommitWindow,
-		MaxBatch: cfg.CommitMaxBatch,
+		Window:           cfg.CommitWindow,
+		MaxBatch:         cfg.CommitMaxBatch,
+		CommitMaxRecords: cfg.CommitMaxRecords,
+		CommitMaxBytes:   cfg.CommitMaxBytes,
 		Log: plog.Options{
 			SegmentBytes:    cfg.WALSegmentBytes,
 			CheckpointEvery: cfg.WALCheckpointEvery,
@@ -585,6 +625,12 @@ func New(cfg Config) (*Hub, error) {
 		queueWait:  metrics.NewReservoir(cfg.LatencyReservoir),
 		routeLat:   metrics.NewReservoir(cfg.LatencyReservoir),
 		deliverLat: metrics.NewReservoir(cfg.LatencyReservoir),
+		admitLat:   metrics.NewReservoir(cfg.LatencyReservoir),
+		asyncSem:   make(chan struct{}, cfg.AsyncInFlight),
+	}
+	h.laneq = make([]chan *lanePart, cfg.WALLanes)
+	for i := range h.laneq {
+		h.laneq[i] = make(chan *lanePart, laneQueueDepth)
 	}
 	h.ctr.received = h.counters.Counter("received")
 	h.ctr.duplicates = h.counters.Counter("duplicates")
@@ -798,6 +844,9 @@ func (h *Hub) Start() error {
 		}
 	}
 	h.replay()
+	for _, ch := range h.laneq {
+		go h.laneResolver(ch)
+	}
 	h.accepting.Store(true)
 	return nil
 }
@@ -919,6 +968,96 @@ type submitPending struct {
 	env *envelope
 }
 
+// Ticket is a pending acknowledgement from SubmitBatchAsync (and,
+// internally, SubmitBatch): the burst's RECV records are staged into
+// the WAL lanes' group commits, and the ticket resolves once every
+// lane's fsync lands and the admitted entries are enqueued to their
+// shards. Until then nothing is acknowledged and nothing is routed —
+// the admission→log→ack→enqueue order of a synchronous submit is
+// preserved; the submitter has merely stopped standing in it.
+type Ticket struct {
+	errs        []error
+	pending     atomic.Int32 // unresolved lane parts
+	done        chan struct{}
+	onCommitted func([]error)
+	start       time.Time
+	staged      bool // at least one lane part was dispatched to a resolver
+	sem         bool // holds an async backpressure slot until resolved
+}
+
+// Done is closed when the ticket has resolved (every entry acked or
+// failed).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the ticket resolves and returns the per-entry
+// results, parallel to the submitted burst with exactly SubmitBatch's
+// semantics: errs[i] == nil is the hub's durable acknowledgement for
+// entry i. The slice is shared with the onCommitted callback; treat it
+// as read-only.
+func (t *Ticket) Wait() []error {
+	<-t.done
+	return t.errs
+}
+
+// lanePart is the slice of one staged burst that landed in a single
+// WAL lane: the lane's commit ticket plus the burst entries (fresh
+// envelopes and duplicate re-acks) whose fate that commit decides. The
+// lane's resolver goroutine processes parts strictly in staging order,
+// so deferred enqueues can never reorder a user's alerts — a user's
+// shard, hence lane, is stable.
+type lanePart struct {
+	t       *Ticket
+	c       plog.Commit
+	lane    int
+	entries []partEntry
+}
+
+// partEntry is one burst entry inside a lanePart.
+type partEntry struct {
+	idx   int
+	dup   bool
+	buddy *Buddy
+	sh    *shard    // nil for duplicates
+	env   *envelope // nil for duplicates
+}
+
+// SubmitBatchAsync is the pipelined ingest path: it validates, admits,
+// and stages the burst's RECV records exactly as SubmitBatch does, but
+// returns a commit Ticket instead of blocking on the WAL fsync. The
+// burst is acknowledged — and only then enqueued for routing — when
+// the ticket resolves; onCommitted (optional) runs once at that point
+// with the per-entry results, on a resolver goroutine, so it must not
+// block. A submitter keeps several batches in flight by holding
+// several tickets; Config.AsyncInFlight bounds the hub-wide total, and
+// a submitter past the bound blocks here until a ticket resolves.
+//
+// Entries that fail before staging (invalid alert, unknown user,
+// overloaded shard) are reported in the ticket's results exactly as
+// SubmitBatch reports them. A lane whose fsync fails NACKs only that
+// lane's entries — other lanes' entries stay acknowledged.
+func (h *Hub) SubmitBatchAsync(subs []Submission, onCommitted func(errs []error)) *Ticket {
+	if !h.accepting.Load() {
+		return h.rejectedTicket(subs, onCommitted)
+	}
+	h.asyncSem <- struct{}{}
+	if !h.accepting.Load() {
+		<-h.asyncSem
+		return h.rejectedTicket(subs, onCommitted)
+	}
+	return h.submit(subs, onCommitted, true)
+}
+
+// rejectedTicket resolves a whole burst with ErrNotAccepting without
+// touching the ingest path.
+func (h *Hub) rejectedTicket(subs []Submission, onCommitted func([]error)) *Ticket {
+	t := &Ticket{errs: make([]error, len(subs)), done: make(chan struct{}), onCommitted: onCommitted}
+	for i := range t.errs {
+		t.errs[i] = ErrNotAccepting
+	}
+	h.finishTicket(t)
+	return t
+}
+
 // SubmitBatch offers a burst of alerts, amortizing the ingest path's
 // fixed costs: one validation/dedup pass, bulk admission reservation
 // per shard, one marshal pass, and a single group-commit WAL join for
@@ -933,18 +1072,43 @@ type submitPending struct {
 // individually; the rest of the burst proceeds. Duplicate submissions
 // (against the WAL or within the burst) are re-acked idempotently once
 // the original is durable.
+//
+// SubmitBatch is the staging half of SubmitBatchAsync followed
+// immediately by Wait: the deferred enqueue runs on the same per-lane
+// resolvers, so the synchronous and pipelined paths cannot reorder
+// each other's entries.
 func (h *Hub) SubmitBatch(subs []Submission) []error {
-	errs := make([]error, len(subs))
 	if len(subs) == 0 {
-		return errs
+		return nil
 	}
 	if !h.accepting.Load() {
+		errs := make([]error, len(subs))
 		for i := range errs {
 			errs[i] = ErrNotAccepting
 		}
 		return errs
 	}
+	return h.submit(subs, nil, false).Wait()
+}
+
+// submit is the shared staging half of SubmitBatch/SubmitBatchAsync:
+// validate and dedup the burst, bulk-reserve admission, marshal the
+// admitted entries, and stage every lane's RECV slice into its group
+// commit. The returned Ticket resolves on the lanes' resolver
+// goroutines once the commits land (or synchronously here, when
+// nothing staged).
+func (h *Hub) submit(subs []Submission, onCommitted func([]error), sem bool) *Ticket {
+	errs := make([]error, len(subs))
+	t := &Ticket{errs: errs, done: make(chan struct{}), onCommitted: onCommitted, sem: sem}
+	if !h.accepting.Load() {
+		for i := range errs {
+			errs[i] = ErrNotAccepting
+		}
+		h.finishTicket(t)
+		return t
+	}
 	now := h.cfg.Clock.Now()
+	t.start = now
 
 	// Pass 1: validate, resolve tenants, and split duplicates from
 	// fresh admissions. Burst-internal duplicates count as duplicates
@@ -994,7 +1158,8 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 		pending = append(pending, submitPending{idx: i, buddy: b, sh: sh, a: s.Alert, key: key, lane: lane})
 	}
 	if len(pending) == 0 {
-		return errs
+		h.finishTicket(t)
+		return t
 	}
 
 	// Pass 2: bulk admission BEFORE the pessimistic log — one CAS per
@@ -1008,15 +1173,19 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			granted[id] = h.shards[id].reserveN(counts[id])
 		}
 	}
-	// Pass 3: marshal the admitted entries and stage the burst's RECV
-	// records, split by WAL lane (duplicates ride along as idempotent
-	// no-ops so their re-ack waits for the original's durability).
+	// Pass 3: marshal the admitted entries and split the burst by WAL
+	// lane — the journal entries the lane stages plus the parallel
+	// partEntry bookkeeping its resolver needs (duplicates ride along
+	// as idempotent no-ops so their re-ack waits for the original's
+	// durability).
 	byLane := make([][]plog.BatchEntry, h.cfg.WALLanes)
-	admitted := pending[:0] // in-place filter: pending entries that joined a batch
+	byPart := make([][]partEntry, h.cfg.WALLanes)
+	staged := 0
 	for _, p := range pending {
 		if p.dup {
 			byLane[p.lane] = append(byLane[p.lane], plog.BatchEntry{Key: p.key, At: now})
-			admitted = append(admitted, p)
+			byPart[p.lane] = append(byPart[p.lane], partEntry{idx: p.idx, dup: true, buddy: p.buddy})
+			staged++
 			continue
 		}
 		if granted[p.sh.id] <= 0 {
@@ -1045,77 +1214,152 @@ func (h *Hub) SubmitBatch(subs []Submission) []error {
 			continue
 		}
 		env.payload = payload
-		p.env = env
 		byLane[p.lane] = append(byLane[p.lane], plog.BatchEntry{Key: p.key, Payload: payload, At: now})
-		admitted = append(admitted, p)
+		byPart[p.lane] = append(byPart[p.lane], partEntry{idx: p.idx, buddy: p.buddy, sh: p.sh, env: env})
+		staged++
 	}
-	if len(admitted) == 0 {
-		return errs
+	if staged == 0 {
+		h.finishTicket(t)
+		return t
 	}
 
 	// Pessimistic logging with parallel group commit: stage every
-	// lane's slice of the burst first (each join signals that lane's
-	// committer), then wait — the lanes' fsyncs overlap instead of
-	// queueing behind one journal. Only after every lane's batch is
-	// durable do we acknowledge. On any lane failure the whole burst is
-	// NACKed: entries fsynced by the other lanes stay durable and
-	// replay on the next restart, where the dedup contract absorbs
-	// them; a sender retry meanwhile re-acks them as duplicates.
-	var commits [](plog.Commit)
-	var logErr error
+	// lane's slice of the burst (each join signals that lane's
+	// committer), collecting one lanePart per touched lane. A staging
+	// failure NACKs the whole burst before any part is dispatched:
+	// entries already staged on other lanes stay durable and replay on
+	// the next restart, where the dedup contract absorbs them; a sender
+	// retry meanwhile re-acks them as duplicates.
+	parts := make([]*lanePart, 0, len(byLane))
 	for lane, entries := range byLane {
 		if len(entries) == 0 {
 			continue
 		}
 		c, err := h.wal.Lane(lane).LogReceivedBatchStart(entries)
 		if err != nil {
-			logErr = err
-			break
-		}
-		commits = append(commits, c)
-	}
-	for _, c := range commits {
-		if err := c.Wait(); err != nil && logErr == nil {
-			logErr = err
-		}
-	}
-	if logErr != nil {
-		for i := range admitted {
-			if !admitted[i].dup {
-				admitted[i].sh.release()
+			for _, lp := range byPart {
+				for i := range lp {
+					if !lp[i].dup {
+						lp[i].sh.release()
+					}
+					errs[lp[i].idx] = err
+				}
 			}
-			errs[admitted[i].idx] = logErr
+			h.finishTicket(t)
+			return t
 		}
-		return errs
+		parts = append(parts, &lanePart{t: t, c: c, lane: lane, entries: byPart[lane]})
 	}
 
-	// Fault injection: the batch is durable (callers are acked below)
-	// but nothing is enqueued — the next incarnation must replay it.
+	// Dispatch the parts to their lanes' resolvers, which wait out the
+	// commits in staging order and complete the ack + deferred enqueue.
+	// The ticket resolves when the last part does.
+	t.staged = true
+	t.pending.Store(int32(len(parts)))
+	h.ingestPending.Add(1)
+	for _, p := range parts {
+		h.laneq[p.lane] <- p
+	}
+	return t
+}
+
+// laneResolver is one WAL lane's commit-resolver goroutine: it
+// processes the lane's staged burst parts strictly in staging order —
+// waiting out each part's group commit, acknowledging, and enqueueing
+// the entries to their shards. FIFO order here is what lets deferred
+// enqueues preserve per-user submission order: commits within a lane
+// resolve in batch order, and two bursts sharing one commit batch are
+// still enqueued in the order they staged. After the hub stops, the
+// resolver drains whatever is buffered (commits resolve instantly once
+// the closed WAL flushed them) and exits.
+func (h *Hub) laneResolver(ch chan *lanePart) {
+	for {
+		select {
+		case p := <-ch:
+			h.resolvePart(p)
+		case <-h.stopped:
+			for {
+				select {
+				case p := <-ch:
+					h.resolvePart(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// resolvePart completes one lane's slice of a staged burst once its
+// group commit lands: bump the received/duplicate counters, stamp the
+// ack time, and enqueue the fresh envelopes to their shards. A commit
+// error NACKs only this part's entries (slots released, envelopes
+// abandoned to the collector — they may still be referenced by the
+// failed batch).
+func (h *Hub) resolvePart(p *lanePart) {
+	if err := p.c.Wait(); err != nil {
+		for i := range p.entries {
+			e := &p.entries[i]
+			if !e.dup {
+				e.sh.release()
+			}
+			p.t.errs[e.idx] = err
+		}
+		h.resolvedPart(p.t)
+		return
+	}
+	// Fault injection: the part is durable (its callers are acked) but
+	// nothing is enqueued — the next incarnation must replay it.
 	if f := h.cfg.CrashAfterBatchFsync; f != nil && f.Active() {
 		h.crashOnce.Do(func() {
 			h.journal(faults.KindFaultInjected,
-				"hub killed between batch fsync and enqueue (%d staged alerts)", len(admitted))
+				"hub killed between batch fsync and enqueue (%d staged alerts)", len(p.entries))
 			h.Kill()
 		})
-		return errs
+		h.resolvedPart(p.t)
+		return
 	}
-
 	acked := h.cfg.Clock.Now() // post-fsync: latency measures ack → processed
-	for i := range admitted {
-		p := &admitted[i]
-		if p.dup {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.dup {
 			h.ctr.duplicates.Add1()
 			// The routing category (and with it any per-category tier
 			// override) is unknown until the pipeline runs, so duplicate
 			// suppression is attributed to the tenant's default tier.
-			h.ctr.tierDuplicated[p.buddy.DefaultTier()].Add1()
+			h.ctr.tierDuplicated[e.buddy.DefaultTier()].Add1()
 			continue
 		}
 		h.ctr.received.Add1()
-		p.env.at = acked // latency measures ack → processed
-		p.sh.enqueue(p.env)
+		e.env.at = acked // latency measures ack → processed
+		e.sh.enqueue(e.env)
 	}
-	return errs
+	h.resolvedPart(p.t)
+}
+
+// resolvedPart retires one lane part; the last part resolves the
+// ticket.
+func (h *Hub) resolvedPart(t *Ticket) {
+	if t.pending.Add(-1) == 0 {
+		h.finishTicket(t)
+	}
+}
+
+// finishTicket resolves a ticket: observe the admission latency (for
+// bursts that actually staged durability work), release the async
+// backpressure slot, wake waiters, and run the commit callback.
+func (h *Hub) finishTicket(t *Ticket) {
+	if t.staged {
+		h.admitLat.Observe(h.cfg.Clock.Since(t.start))
+		h.ingestPending.Add(-1)
+	}
+	if t.sem {
+		<-h.asyncSem
+	}
+	close(t.done)
+	if t.onCommitted != nil {
+		t.onCommitted(t.errs)
+	}
 }
 
 // openGen builds one shard generation: fresh queue and latches plus a
@@ -1366,6 +1610,15 @@ func (h *Hub) shutdown() {
 // shard is closed — Drain never tears a generation swap in half.
 func (h *Hub) Drain() error {
 	h.accepting.Store(false)
+	// Quiesce the async ingest pipeline: tickets already admitted keep
+	// their ordering contract (commit → ack → enqueue), so wait for the
+	// lane resolvers to retire every outstanding burst before closing
+	// shard intake. Bounded — a wedged WAL resolves tickets with errors
+	// on Close below anyway.
+	deadline := time.Now().Add(h.cfg.QuiesceTimeout)
+	for h.ingestPending.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
 	for _, sh := range h.shards {
 		sh.lifeMu.Lock()
 		sh.setState(ShardStopped)
@@ -1665,6 +1918,9 @@ func (h *Hub) Latency() *metrics.Recorder { return h.latency }
 
 // StageLatencies is the per-stage latency split of the hub's pipeline.
 type StageLatencies struct {
+	// Admission is submit → burst durable (ticket resolved): the
+	// group-commit wait the adaptive scheduler is minimizing.
+	Admission metrics.Summary
 	// QueueWait is admission → dequeued by the shard loop.
 	QueueWait metrics.Summary
 	// Route is the pipeline evaluation on the shard loop.
@@ -1677,6 +1933,7 @@ type StageLatencies struct {
 // Stages summarizes the per-stage latency split.
 func (h *Hub) Stages() StageLatencies {
 	return StageLatencies{
+		Admission: h.admitLat.Summarize(),
 		QueueWait: h.queueWait.Summarize(),
 		Route:     h.routeLat.Summarize(),
 		Deliver:   h.deliverLat.Summarize(),

@@ -2,6 +2,7 @@ package plog
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ type GroupLog struct {
 
 	batchSizes  *metrics.Histogram // journal lines per commit
 	stagedSizes *metrics.Histogram // fresh records per LogReceivedBatch call
+	commitWait  *metrics.Histogram // µs from batch open to durable
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -44,6 +46,11 @@ type GroupLog struct {
 	closed   bool
 	failed   error // sticky: first batch-write failure poisons the log
 	done     chan struct{}
+	// flushNow (capacity 1) cuts an in-progress commit window short:
+	// staging paths signal it when the backlog crosses a force-flush
+	// threshold, and Close signals it so shutdown never waits out a
+	// window.
+	flushNow chan struct{}
 	scratch  []byte // staging buffer reused across appends (guarded by mu)
 	// freeBufs recycles committed batches' encode buffers back into new
 	// batches (guarded by mu): the committer strips a batch's buf after
@@ -62,14 +69,24 @@ const (
 
 // GroupOptions tune the commit policy.
 type GroupOptions struct {
-	// Window is how long (wall-clock) the committer waits after waking
-	// for a batch, letting more appends join before the fsync. Zero
-	// commits as soon as the previous fsync completes, which still
-	// batches naturally: appends arriving during an fsync pile into the
-	// next batch.
+	// Window is the committer's adaptive upper bound on batching delay,
+	// not a fixed tax: an append that ends an idle spell (no fsync in
+	// flight and at least a window since the last one) commits
+	// immediately, a backlog that accumulated while the previous fsync
+	// ran commits immediately (the fsync was its window — the two-deep
+	// pipeline), and only a steady stream that keeps the committer fed
+	// is paced so fsyncs land at most one per window. Zero always
+	// commits as soon as the previous fsync completes.
 	Window time.Duration
 	// MaxBatch caps the journal lines per commit. Zero means 1024.
 	MaxBatch int
+	// CommitMaxRecords force-flushes an in-progress commit window once
+	// the staged backlog reaches this many journal lines, so a heavy
+	// burst never waits out the timer. Zero means MaxBatch.
+	CommitMaxRecords int
+	// CommitMaxBytes force-flushes once the staged backlog reaches this
+	// many encoded bytes. Zero means 1 MiB.
+	CommitMaxBytes int
 	// Log configures the underlying segmented journal (segment size,
 	// background checkpointing, in-memory sweep).
 	Log Options
@@ -82,6 +99,12 @@ func OpenGroup(path string, opts GroupOptions) (*GroupLog, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 1024
 	}
+	if opts.CommitMaxRecords <= 0 {
+		opts.CommitMaxRecords = opts.MaxBatch
+	}
+	if opts.CommitMaxBytes <= 0 {
+		opts.CommitMaxBytes = 1 << 20
+	}
 	l, err := OpenWithOptions(path, opts.Log)
 	if err != nil {
 		return nil, err
@@ -90,8 +113,10 @@ func OpenGroup(path string, opts GroupOptions) (*GroupLog, error) {
 		log:         l,
 		opts:        opts,
 		done:        make(chan struct{}),
+		flushNow:    make(chan struct{}, 1),
 		batchSizes:  &metrics.Histogram{},
 		stagedSizes: &metrics.Histogram{},
+		commitWait:  &metrics.Histogram{},
 	}
 	g.cond = sync.NewCond(&g.mu)
 	go g.committer()
@@ -99,10 +124,11 @@ func OpenGroup(path string, opts GroupOptions) (*GroupLog, error) {
 }
 
 type groupBatch struct {
-	buf   []byte // encoded journal lines, in staging order
-	lines int64
-	err   error
-	done  chan struct{}
+	buf      []byte // encoded journal lines, in staging order
+	lines    int64
+	openedAt time.Time // when the batch was opened (commit-wait clock)
+	err      error
+	done     chan struct{}
 }
 
 // LogReceived durably records an incoming alert, returning once the
@@ -205,7 +231,7 @@ func (g *GroupLog) LogReceivedBatchStart(entries []BatchEntry) (Commit, error) {
 		b.buf = append(b.buf, buf...)
 		b.lines += staged
 		g.appended.Add(staged)
-		g.cond.Signal()
+		g.noteStagedLocked()
 	} else {
 		// Every entry was a duplicate: wait for the youngest pending
 		// work, if any (mirrors the no-op path in commit).
@@ -250,7 +276,7 @@ func (g *GroupLog) MarkProcessedBatchAsync(keys []string, at time.Time) []error 
 		b.buf = append(b.buf, buf...)
 		b.lines += staged
 		g.appended.Add(staged)
-		g.cond.Signal()
+		g.noteStagedLocked()
 	}
 	return errs
 }
@@ -284,8 +310,34 @@ func (g *GroupLog) stageLocked(stage stageFn) (*groupBatch, error) {
 	b.buf = append(b.buf, line...)
 	b.lines++
 	g.appended.Add(1)
-	g.cond.Signal()
+	g.noteStagedLocked()
 	return b, nil
+}
+
+// noteStagedLocked wakes the committer for newly staged records and,
+// when the backlog has crossed a force-flush threshold, cuts any
+// in-progress commit window short. Caller holds g.mu.
+func (g *GroupLog) noteStagedLocked() {
+	g.cond.Signal()
+	if g.overThresholdLocked() {
+		select {
+		case g.flushNow <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// overThresholdLocked reports whether the staged backlog already
+// justifies an immediate commit — the CommitMaxRecords/CommitMaxBytes
+// force-flush test. The queue is at most a couple of batches deep, so
+// the scan is cheap. Caller holds g.mu.
+func (g *GroupLog) overThresholdLocked() bool {
+	var lines, bytes int64
+	for _, b := range g.queue {
+		lines += b.lines
+		bytes += int64(len(b.buf))
+	}
+	return lines >= int64(g.opts.CommitMaxRecords) || bytes >= int64(g.opts.CommitMaxBytes)
 }
 
 // commitNoWait stages one record and joins a batch without waiting for
@@ -345,7 +397,7 @@ func (g *GroupLog) openBatchLocked() *groupBatch {
 	if n := len(g.queue); n > 0 && g.queue[n-1].lines < int64(g.opts.MaxBatch) {
 		return g.queue[n-1]
 	}
-	b := &groupBatch{done: make(chan struct{})}
+	b := &groupBatch{done: make(chan struct{}), openedAt: time.Now()}
 	if n := len(g.freeBufs); n > 0 {
 		b.buf = g.freeBufs[n-1][:0]
 		g.freeBufs[n-1] = nil
@@ -362,23 +414,59 @@ func (g *GroupLog) openBatchLocked() *groupBatch {
 // in a single follow-up sync instead of one per batch. An oversized
 // batch (a burst that overshot the cap when it joined) still commits
 // alone.
+//
+// The commit schedule is adaptive rather than a fixed timer. A wake
+// that ends an idle spell (the committer was parked: no backlog, no
+// fsync in flight) commits immediately — the append had no peers to
+// wait for while it staged, so idle admission latency is the fsync
+// itself, not the window. Pacing applies only when a backlog of two
+// or more records is already waiting at the top of the cycle, i.e.
+// peers staged while the previous fsync ran (the two-deep pipeline:
+// batch N+1 accumulates under fsync N). Such a backlog proves
+// concurrent load,
+// so the committer sleeps out the window's remainder to let the
+// batch fill — fsyncs land at most one per Window under a sustained
+// stream — and the wait is cut short the moment the backlog crosses
+// a force-flush threshold (CommitMaxRecords/CommitMaxBytes) or the
+// log closes. The shape follows commit_delay/commit_siblings in
+// Postgres: never delay a lone committer, only one with company.
 func (g *GroupLog) committer() {
 	defer close(g.done)
 	var take []*groupBatch
 	var vec []byte
+	var lastSync time.Time // completion time of the previous fsync
 	for {
 		g.mu.Lock()
+		idle := false
 		for len(g.queue) == 0 && !g.closed {
+			idle = true // parked: no backlog, no fsync in flight
 			g.cond.Wait()
 		}
 		if len(g.queue) == 0 {
 			g.mu.Unlock()
 			return // closed and drained
 		}
-		if w := g.opts.Window; w > 0 && !g.closed {
+		if idle && !g.closed {
+			// Commit immediately, but yield the processor once first:
+			// appenders that are already runnable (woken together with
+			// us, or starved while GOMAXPROCS=1 kept them off the core
+			// during the last fsync) get to stage into this batch. At
+			// true idle nothing is runnable and the yield costs a few
+			// microseconds, so idle admission stays sub-window.
 			g.mu.Unlock()
-			time.Sleep(w) // let more appends join the open batch
+			runtime.Gosched()
 			g.mu.Lock()
+		}
+		// Pace only a backlog with company (two or more records): a lone
+		// record that happened to stage while the previous fsync ran has
+		// no peers to amortize with, and holding it for the window
+		// remainder would put a window-sized tail on otherwise-idle
+		// admission latency.
+		if w := g.opts.Window; w > 0 && !idle && !g.closed && !g.overThresholdLocked() &&
+			(len(g.queue) > 1 || g.queue[0].lines > 1) {
+			if wait := w - time.Since(lastSync); wait > 0 {
+				g.waitWindow(wait)
+			}
 		}
 		take = take[:0]
 		var lines int64
@@ -404,6 +492,10 @@ func (g *GroupLog) committer() {
 		}
 		err := g.log.appendBatch(buf, lines)
 		g.batchSizes.Observe(lines)
+		lastSync = time.Now()
+		for _, b := range take {
+			g.commitWait.Observe(lastSync.Sub(b.openedAt).Microseconds())
+		}
 
 		g.mu.Lock()
 		g.flushing = nil
@@ -425,6 +517,32 @@ func (g *GroupLog) committer() {
 			close(b.done)
 		}
 	}
+}
+
+// waitWindow parks the committer for up to d, waking early when a
+// staging path signals a force-flush threshold or Close fires. The
+// timer is stopped and drained on the early-wake path, and a stale
+// threshold token is dropped before parking, so neither the timer nor
+// the signal channel leaks state into later cycles. Called with g.mu
+// held; returns with it re-held.
+func (g *GroupLog) waitWindow(d time.Duration) {
+	select {
+	// Drop a threshold token left by a backlog an earlier cycle already
+	// committed: overThresholdLocked just said the current backlog does
+	// not justify an immediate flush.
+	case <-g.flushNow:
+	default:
+	}
+	g.mu.Unlock()
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+	case <-g.flushNow:
+		if !t.Stop() {
+			<-t.C // the timer fired while we were waking: drain it
+		}
+	}
+	g.mu.Lock()
 }
 
 // Has reports whether key is resident (logged, possibly not yet
@@ -462,6 +580,7 @@ func (g *GroupLog) Stats() Stats {
 	s := g.log.Stats()
 	s.CommitBatches = g.batchSizes.Snapshot()
 	s.StagedBatches = g.stagedSizes.Snapshot()
+	s.CommitWait = g.commitWait.Snapshot()
 	return s
 }
 
@@ -479,6 +598,11 @@ func (g *GroupLog) BatchSizes() metrics.HistogramSnapshot { return g.batchSizes.
 // records per LogReceivedBatch call).
 func (g *GroupLog) StagedBatchSizes() metrics.HistogramSnapshot { return g.stagedSizes.Snapshot() }
 
+// CommitWaitLatency returns the batch-open→durable latency histogram
+// (microseconds) — how long staged records actually waited for their
+// fsync under the adaptive schedule.
+func (g *GroupLog) CommitWaitLatency() metrics.HistogramSnapshot { return g.commitWait.Snapshot() }
+
 // Close flushes every pending batch, waits for the committer to exit,
 // and closes the underlying journal. Further appends fail with
 // ErrClosed.
@@ -491,6 +615,10 @@ func (g *GroupLog) Close() error {
 	}
 	g.closed = true
 	g.cond.Broadcast()
+	select {
+	case g.flushNow <- struct{}{}: // cut short an in-progress commit window
+	default:
+	}
 	g.mu.Unlock()
 	<-g.done
 	return g.log.Close()

@@ -235,6 +235,7 @@ func (s *LaneSet) Stats() Stats {
 		agg.FsyncLatency = agg.FsyncLatency.Merge(ls.FsyncLatency)
 		agg.CommitBatches = agg.CommitBatches.Merge(ls.CommitBatches)
 		agg.StagedBatches = agg.StagedBatches.Merge(ls.StagedBatches)
+		agg.CommitWait = agg.CommitWait.Merge(ls.CommitWait)
 	}
 	return agg
 }
@@ -265,6 +266,16 @@ func (s *LaneSet) StagedBatchSizes() metrics.HistogramSnapshot {
 	var m metrics.HistogramSnapshot
 	for _, l := range s.lanes {
 		m = m.Merge(l.StagedBatchSizes())
+	}
+	return m
+}
+
+// CommitWaitLatency returns the batch-open→durable latency histogram
+// (microseconds) merged across lanes.
+func (s *LaneSet) CommitWaitLatency() metrics.HistogramSnapshot {
+	var m metrics.HistogramSnapshot
+	for _, l := range s.lanes {
+		m = m.Merge(l.CommitWaitLatency())
 	}
 	return m
 }

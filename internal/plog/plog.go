@@ -153,6 +153,11 @@ type Stats struct {
 	// burst.
 	CommitBatches metrics.HistogramSnapshot
 	StagedBatches metrics.HistogramSnapshot
+	// CommitWait is the batch-open→durable latency histogram
+	// (microseconds) — how long staged records waited for their fsync
+	// under the adaptive commit schedule (populated by GroupLog.Stats,
+	// zero for a bare Log).
+	CommitWait metrics.HistogramSnapshot
 }
 
 // Log is a pessimistic, segmented write-ahead log. It is safe for

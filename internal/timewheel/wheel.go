@@ -143,6 +143,14 @@ func (w *Wheel) Release(t *Timer) {
 	w.mu.Lock()
 	if t.slot >= 0 {
 		w.unlinkLocked(t)
+		// Last pending wait canceled: stop the driver so an idle wheel
+		// holds no armed timer and cannot fire spuriously. A fire already
+		// in flight (Stop reports false) is harmless — advance finds
+		// nothing due and leaves the wheel idle.
+		if w.pending == 0 && w.driver != nil && !w.driverAt.IsZero() {
+			w.driver.Stop()
+			w.driverAt = time.Time{}
+		}
 	}
 	// Fires are sent under w.mu, so after the unlink above no send can
 	// be in flight: draining here leaves the channel provably empty for
